@@ -1,0 +1,85 @@
+//! Criterion micro-benches for the fairness-sensitive density estimator —
+//! the per-AL-iteration cost that dominates FACTION's overhead over Random
+//! in Fig. 5b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faction_density::{FairDensityConfig, FairDensityEstimator};
+use faction_linalg::{Matrix, SeedRng};
+use std::hint::black_box;
+
+fn synthetic(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>, Vec<i8>) {
+    let mut rng = SeedRng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut sens = Vec::with_capacity(n);
+    for i in 0..n {
+        let y = i % 2;
+        let s: i8 = if (i / 2) % 2 == 0 { 1 } else { -1 };
+        let mut x = rng.standard_normal_vec(d);
+        x[0] += if y == 1 { 2.0 } else { -2.0 };
+        x[1] += f64::from(s);
+        rows.push(x);
+        labels.push(y);
+        sens.push(s);
+    }
+    (Matrix::from_rows(&rows).unwrap(), labels, sens)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gda_fit");
+    group.sample_size(10);
+    for &(n, d) in &[(200usize, 16usize), (1000, 16), (500, 32)] {
+        let (x, y, s) = synthetic(n, d, 1);
+        group.bench_with_input(BenchmarkId::new("fair", format!("n{n}_d{d}")), &(), |b, ()| {
+            b.iter(|| {
+                FairDensityEstimator::fit(
+                    black_box(&x),
+                    &y,
+                    &s,
+                    2,
+                    &FairDensityConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("class_only", format!("n{n}_d{d}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    FairDensityEstimator::fit_class_only(
+                        black_box(&x),
+                        &y,
+                        2,
+                        &FairDensityConfig::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gda_score");
+    group.sample_size(20);
+    let (x, y, s) = synthetic(500, 16, 2);
+    let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+    let (probe, _, _) = synthetic(800, 16, 3);
+    group.bench_function("log_density_batch_800", |b| {
+        b.iter(|| est.log_density_batch(black_box(&probe)).unwrap())
+    });
+    group.bench_function("delta_g_all_800", |b| {
+        b.iter(|| {
+            probe
+                .iter_rows()
+                .map(|row| est.delta_g_all(row).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_score);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benches for the numerical substrate: matrix kernels,
+//! Cholesky factorization, k-means, and the acquisition loop. These quantify
+//! the substrate costs underlying every pipeline stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faction_core::kmeans::KMeans;
+use faction_core::selection::{acquire, AcquisitionMode};
+use faction_linalg::{Cholesky, Matrix, SeedRng};
+use std::hint::black_box;
+
+fn random_matrix(r: usize, c: usize, rng: &mut SeedRng) -> Matrix {
+    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.uniform_range(-1.0, 1.0)).collect()).unwrap()
+}
+
+fn spd_matrix(n: usize, rng: &mut SeedRng) -> Matrix {
+    let g = random_matrix(n, n, rng);
+    let mut a = g.matmul(&g.transpose()).unwrap();
+    a.add_diagonal(1.0);
+    a
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    let mut rng = SeedRng::new(1);
+    for &n in &[32usize, 64, 128] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |bench, ()| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(20);
+    let mut rng = SeedRng::new(2);
+    for &n in &[16usize, 32, 64] {
+        let a = spd_matrix(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("factor", n), &(), |bench, ()| {
+            bench.iter(|| black_box(Cholesky::factor(&a).unwrap()))
+        });
+        let chol = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("quad_form", n), &(), |bench, ()| {
+            bench.iter(|| black_box(chol.quadratic_form(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    let mut rng = SeedRng::new(3);
+    let points = random_matrix(600, 16, &mut rng);
+    for &k in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut local_rng = SeedRng::new(9);
+                black_box(KMeans::fit(&points, k, 25, &mut local_rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acquisition");
+    group.sample_size(50);
+    let mut rng = SeedRng::new(4);
+    let scores: Vec<f64> = (0..800).map(|_| rng.uniform()).collect();
+    group.bench_function("topk_50_of_800", |b| {
+        let mut local = SeedRng::new(1);
+        b.iter(|| black_box(acquire(&scores, 50, AcquisitionMode::TopK, &mut local)))
+    });
+    group.bench_function("bernoulli_50_of_800", |b| {
+        let mut local = SeedRng::new(1);
+        b.iter(|| {
+            black_box(acquire(
+                &scores,
+                50,
+                AcquisitionMode::Probabilistic { alpha: 3.0 },
+                &mut local,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cholesky, bench_kmeans, bench_acquisition);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benches comparing per-iteration selection cost across
+//! strategies — the decomposition behind the Fig. 5 runtime ordering
+//! (Random < Entropy < DDU < FACTION < FAL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faction_core::strategies::ddu::Ddu;
+use faction_core::strategies::entropy::EntropyAl;
+use faction_core::strategies::faction::{Faction, FactionParams};
+use faction_core::strategies::fal::{Fal, FalParams};
+use faction_core::strategies::random::Random;
+use faction_core::{ExperimentConfig, LabeledPool, OnlineModel, SelectionContext, Strategy};
+use faction_linalg::{Matrix, SeedRng};
+use std::hint::black_box;
+
+struct Bench {
+    model: OnlineModel,
+    pool: LabeledPool,
+    candidates: Matrix,
+    sensitives: Vec<i8>,
+}
+
+fn setup(n_pool: usize, n_candidates: usize, d: usize) -> Bench {
+    let mut rng = SeedRng::new(9);
+    let mut pool = LabeledPool::new();
+    for i in 0..n_pool {
+        let y = i % 2;
+        let s: i8 = if (i / 2) % 2 == 0 { 1 } else { -1 };
+        let mut x = rng.standard_normal_vec(d);
+        x[0] += if y == 1 { 2.0 } else { -2.0 };
+        pool.push(x, y, s);
+    }
+    let cfg = ExperimentConfig::quick();
+    let arch = faction_nn::presets::standard(d, 2, 0);
+    let mut model = OnlineModel::new(&arch, &cfg, 0);
+    model.retrain(&pool, &faction_nn::CrossEntropyLoss);
+    let rows: Vec<Vec<f64>> = (0..n_candidates).map(|_| rng.standard_normal_vec(d)).collect();
+    let sensitives = (0..n_candidates).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    Bench { model, pool, candidates: Matrix::from_rows(&rows).unwrap(), sensitives }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_scoring");
+    group.sample_size(10);
+    let bench = setup(400, 600, 16);
+    let ctx = SelectionContext {
+        model: &bench.model,
+        pool: &bench.pool,
+        candidates: &bench.candidates,
+        candidate_sensitives: &bench.sensitives,
+        num_classes: 2,
+    };
+    let mut rng = SeedRng::new(1);
+
+    let mut random = Random;
+    group.bench_function("random", |b| {
+        b.iter(|| black_box(random.desirability(&ctx, &mut rng)))
+    });
+    let mut entropy = EntropyAl;
+    group.bench_function("entropy", |b| {
+        b.iter(|| black_box(entropy.desirability(&ctx, &mut rng)))
+    });
+    let mut ddu = Ddu::default();
+    group.bench_function("ddu", |b| b.iter(|| black_box(ddu.desirability(&ctx, &mut rng))));
+    let mut faction = Faction::new(FactionParams::default());
+    group.bench_function("faction", |b| {
+        b.iter(|| black_box(faction.desirability(&ctx, &mut rng)))
+    });
+    let mut fal = Fal::new(FalParams { l: 16, ..Default::default() });
+    group.bench_function("fal_l16", |b| b.iter(|| black_box(fal.desirability(&ctx, &mut rng))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches of training-step cost: cross-entropy vs the
+//! fairness-regularized total loss (Eq. 9), and spectral normalization on
+//! vs off — the ablation-worthy numerics choices of `DESIGN.md` §5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faction_core::FairTotalLoss;
+use faction_fairness::TotalLossConfig;
+use faction_linalg::{Matrix, SeedRng};
+use faction_nn::{BatchMeta, CrossEntropyLoss, Mlp, MlpConfig, Sgd};
+use std::hint::black_box;
+
+fn batch(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>, Vec<i8>) {
+    let mut rng = SeedRng::new(seed);
+    let rows: Vec<Vec<f64>> = (0..n).map(|_| rng.standard_normal_vec(d)).collect();
+    let labels = (0..n).map(|i| i % 2).collect();
+    let sens = (0..n).map(|i| if (i / 2) % 2 == 0 { 1 } else { -1 }).collect();
+    (Matrix::from_rows(&rows).unwrap(), labels, sens)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+    let (x, y, s) = batch(128, 16, 5);
+    let meta = BatchMeta { labels: &y, sensitive: &s };
+
+    let mut plain = Mlp::new(&faction_nn::presets::standard(16, 2, 0));
+    let mut opt_plain = Sgd::new(0.05);
+    group.bench_function("ce_spectral", |b| {
+        b.iter(|| black_box(plain.train_step(&x, &meta, &CrossEntropyLoss, &mut opt_plain)))
+    });
+
+    let mut no_sn = Mlp::new(&MlpConfig::new(vec![16, 64, 32, 2], 0).without_spectral_norm());
+    let mut opt_no_sn = Sgd::new(0.05);
+    group.bench_function("ce_no_spectral", |b| {
+        b.iter(|| black_box(no_sn.train_step(&x, &meta, &CrossEntropyLoss, &mut opt_no_sn)))
+    });
+
+    let mut fair = Mlp::new(&faction_nn::presets::standard(16, 2, 0));
+    let mut opt_fair = Sgd::new(0.05);
+    let fair_loss = FairTotalLoss::new(TotalLossConfig::default());
+    group.bench_function("fair_total_spectral", |b| {
+        b.iter(|| black_box(fair.train_step(&x, &meta, &fair_loss, &mut opt_fair)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! FACTION paper (see `DESIGN.md` §4 for the index). They share:
+//!
+//! * [`HarnessOptions`] — a minimal CLI (`--quick`, `--seeds N`,
+//!   `--dataset NAME`, `--out DIR`);
+//! * [`run_lineup`] — "run these strategies on this stream across seeds and
+//!   aggregate" — the inner loop of every figure;
+//! * [`write_output`] — persist the human-readable table and the
+//!   machine-readable JSON under `results/`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use faction_core::report::AggregatedRun;
+use faction_core::{run_experiment, ExperimentConfig, Strategy};
+use faction_data::datasets::Dataset;
+use faction_data::{Scale, TaskStream};
+use faction_nn::MlpConfig;
+
+/// A factory producing a fresh strategy instance per seed (strategies are
+/// stateful across a run, so each seed gets its own).
+pub type StrategyFactory = Box<dyn Fn() -> Box<dyn Strategy>>;
+
+/// Parsed harness command line.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Reduced scale: fewer seeds, smaller tasks, smaller budgets.
+    pub quick: bool,
+    /// Number of repetitions (paper: 5).
+    pub seeds: u64,
+    /// Restrict to one dataset (all five when `None`).
+    pub dataset: Option<Dataset>,
+    /// Output directory for `.txt` / `.json` results.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessOptions {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn from_args() -> HarnessOptions {
+        let mut options = HarnessOptions {
+            quick: false,
+            seeds: 5,
+            dataset: None,
+            out_dir: PathBuf::from("results"),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    options.quick = true;
+                    options.seeds = options.seeds.min(2);
+                }
+                "--seeds" => {
+                    let v = args.next().expect("--seeds needs a value");
+                    options.seeds = v.parse().expect("--seeds must be an integer");
+                }
+                "--dataset" => {
+                    let v = args.next().expect("--dataset needs a value");
+                    options.dataset = Some(
+                        Dataset::from_name(&v)
+                            .unwrap_or_else(|| panic!("unknown dataset '{v}'")),
+                    );
+                }
+                "--out" => {
+                    let v = args.next().expect("--out needs a value");
+                    options.out_dir = PathBuf::from(v);
+                }
+                other if !other.starts_with("--") => {
+                    // Positional argument (e.g. fig5's `fair` / `ablation`
+                    // selector) — left for the binary to re-read.
+                }
+                other => panic!("unknown flag '{other}' (try --quick/--seeds/--dataset/--out)"),
+            }
+        }
+        options
+    }
+
+    /// The generation scale implied by `--quick`.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// The protocol configuration implied by `--quick`.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        if self.quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::paper()
+        }
+    }
+
+    /// Datasets selected by the CLI (one or all five).
+    pub fn datasets(&self) -> Vec<Dataset> {
+        match self.dataset {
+            Some(d) => vec![d],
+            None => Dataset::ALL.to_vec(),
+        }
+    }
+}
+
+/// Runs each strategy factory over the stream for `seeds` repetitions and
+/// aggregates across seeds. The architecture is rebuilt per seed via
+/// `arch_for_seed` so weight initialization varies with the repetition, as
+/// in the paper's five-run protocol.
+pub fn run_lineup(
+    stream_for_seed: &dyn Fn(u64) -> TaskStream,
+    factories: &[StrategyFactory],
+    arch_for_seed: &dyn Fn(&TaskStream, u64) -> MlpConfig,
+    cfg: &ExperimentConfig,
+    seeds: u64,
+) -> Vec<AggregatedRun> {
+    factories
+        .iter()
+        .map(|factory| {
+            let runs: Vec<_> = (0..seeds)
+                .map(|seed| {
+                    let stream = stream_for_seed(seed);
+                    let arch = arch_for_seed(&stream, seed);
+                    let mut strategy = factory();
+                    run_experiment(&stream, strategy.as_mut(), &arch, cfg, seed)
+                })
+                .collect();
+            AggregatedRun::from_runs(&runs)
+        })
+        .collect()
+}
+
+/// The full Fig. 2 method lineup as strategy factories, with cost knobs
+/// scaled down under `--quick` (FAL's `l`, Decoupled's epochs).
+pub fn paper_factories(
+    loss: faction_fairness::TotalLossConfig,
+    quick: bool,
+) -> Vec<StrategyFactory> {
+    use faction_core::strategies::{
+        ddu::Ddu,
+        decoupled::{Decoupled, DecoupledParams},
+        entropy::EntropyAl,
+        faction::{Faction, FactionParams},
+        fal::{Fal, FalParams},
+        falcur::FalCur,
+        qufur::QuFur,
+        random::Random,
+    };
+    let fal_params = if quick {
+        FalParams { l: 16, retrain_subsample: 48, probe_subsample: 48, ..Default::default() }
+    } else {
+        FalParams::default()
+    };
+    let decoupled_params =
+        if quick { DecoupledParams { epochs: 1, ..Default::default() } } else { DecoupledParams::default() };
+    vec![
+        Box::new(move || Box::new(Faction::new(FactionParams { loss, ..Default::default() }))),
+        Box::new(move || Box::new(Fal::new(fal_params))),
+        Box::new(|| Box::new(FalCur::default())),
+        Box::new(move || Box::new(Decoupled::new(decoupled_params))),
+        Box::new(|| Box::new(QuFur::default())),
+        Box::new(|| Box::new(Ddu::default())),
+        Box::new(|| Box::new(EntropyAl)),
+        Box::new(|| Box::new(Random)),
+    ]
+}
+
+/// The standard architecture used by all methods in a comparison
+/// (Sec. V-A3): the spectrally normalized preset sized to the stream.
+pub fn standard_arch(stream: &TaskStream, seed: u64) -> MlpConfig {
+    faction_nn::presets::standard(stream.input_dim, stream.num_classes, seed)
+}
+
+/// The Fig. 6 wide architecture (the WRN-50 stand-in; see `DESIGN.md` §3).
+pub fn wide_arch(stream: &TaskStream, seed: u64) -> MlpConfig {
+    faction_nn::presets::wide(stream.input_dim, stream.num_classes, seed)
+}
+
+/// Writes `text` to `<out>/<name>.txt`, `json` to `<out>/<name>.json`, and
+/// echoes the text to stdout.
+pub fn write_output(options: &HarnessOptions, name: &str, text: &str, json: &impl serde::Serialize) {
+    fs::create_dir_all(&options.out_dir).expect("create results directory");
+    let txt_path = options.out_dir.join(format!("{name}.txt"));
+    fs::write(&txt_path, text).expect("write text results");
+    let json_path = options.out_dir.join(format!("{name}.json"));
+    fs::write(&json_path, serde_json::to_string_pretty(json).expect("serialize results"))
+        .expect("write json results");
+    println!("{text}");
+    eprintln!("wrote {} and {}", txt_path.display(), json_path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faction_core::strategies::{EntropyAl, Random};
+
+    #[test]
+    fn run_lineup_aggregates_each_factory() {
+        let factories: Vec<StrategyFactory> = vec![
+            Box::new(|| Box::new(Random)),
+            Box::new(|| Box::new(EntropyAl)),
+        ];
+        let cfg = ExperimentConfig {
+            budget: 10,
+            acquisition_batch: 5,
+            warm_start: 15,
+            epochs_per_iteration: 1,
+            ..ExperimentConfig::quick()
+        };
+        let stream_for_seed = |seed: u64| {
+            let mut s = faction_data::datasets::rcmnist(seed, Scale::Quick);
+            s.tasks.truncate(2);
+            for t in &mut s.tasks {
+                t.samples.truncate(60);
+            }
+            s
+        };
+        let arch = |stream: &TaskStream, seed: u64| {
+            faction_nn::presets::tiny(stream.input_dim, stream.num_classes, seed)
+        };
+        let aggregated = run_lineup(&stream_for_seed, &factories, &arch, &cfg, 2);
+        assert_eq!(aggregated.len(), 2);
+        assert_eq!(aggregated[0].strategy, "Random");
+        assert_eq!(aggregated[1].strategy, "Entropy-AL");
+        assert_eq!(aggregated[0].seeds, 2);
+        assert_eq!(aggregated[0].tasks.len(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Checkpointing for long-running online learners.
+//!
+//! A deployed fair-active-online-learning system (the paper's pedestrian-
+//! detection / stop-and-frisk settings) runs indefinitely; restarting from
+//! scratch after a crash would discard both the model and the labeled pool
+//! the label budget paid for. A [`Checkpoint`] captures exactly the
+//! learner's persistent state — network parameters and the labeled task
+//! pool `D_t` — as JSON. Optimizer momentum and RNG position are
+//! deliberately *not* captured: the protocol retrains from the pool at
+//! every AL iteration, so they are reconstructible and excluding them keeps
+//! checkpoints small and forward-compatible.
+
+use std::fs;
+use std::path::Path;
+
+use faction_nn::Mlp;
+use serde::{Deserialize, Serialize};
+
+use crate::pool::LabeledPool;
+
+/// Serializable learner state: model parameters + labeled pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The trained network (weights, biases, spectral-norm state).
+    pub model: Mlp,
+    /// The labeled pool accumulated so far.
+    pub pool: LabeledPool,
+    /// Stream position: the next task index to process.
+    pub next_task: usize,
+}
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Serde(serde_json::Error),
+    /// The file's version field is newer than this library understands.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Serde(e) => write!(f, "checkpoint serialization error: {e}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build supports ≤ {CURRENT_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Serde(e)
+    }
+}
+
+/// Current checkpoint format version.
+pub const CURRENT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Captures the learner's state.
+    pub fn capture(model: &Mlp, pool: &LabeledPool, next_task: usize) -> Self {
+        Checkpoint {
+            version: CURRENT_VERSION,
+            model: model.clone(),
+            pool: pool.clone(),
+            next_task,
+        }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Serde`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Deserializes from a JSON string, rejecting newer format versions.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Serde`] for malformed input and
+    /// [`CheckpointError::UnsupportedVersion`] for newer formats.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let checkpoint: Checkpoint = serde_json::from_str(json)?;
+        if checkpoint.version > CURRENT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(checkpoint.version));
+        }
+        Ok(checkpoint)
+    }
+
+    /// Writes the checkpoint to `path` atomically (write-then-rename).
+    ///
+    /// # Errors
+    /// Propagates filesystem and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem and format failures.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faction_linalg::{Matrix, SeedRng};
+    use faction_nn::{CrossEntropyLoss, MlpConfig, Sgd, TrainOptions};
+
+    fn trained_state() -> (Mlp, LabeledPool) {
+        let mut rng = SeedRng::new(1);
+        let mut pool = LabeledPool::new();
+        for i in 0..40 {
+            let y = i % 2;
+            let c = if y == 1 { 1.5 } else { -1.5 };
+            pool.push(vec![rng.normal(c, 0.5), rng.normal(0.0, 0.5)], y, if i % 3 == 0 { 1 } else { -1 });
+        }
+        let mut mlp = Mlp::new(&MlpConfig::new(vec![2, 8, 2], 3));
+        let mut opt = Sgd::new(0.1);
+        mlp.fit(
+            &pool.features(),
+            pool.labels(),
+            pool.sensitives(),
+            &CrossEntropyLoss,
+            &mut opt,
+            &TrainOptions { epochs: 10, batch_size: 16 },
+            &mut rng,
+        );
+        (mlp, pool)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let (mlp, pool) = trained_state();
+        let checkpoint = Checkpoint::capture(&mlp, &pool, 7);
+        let restored = Checkpoint::from_json(&checkpoint.to_json().unwrap()).unwrap();
+        assert_eq!(restored.next_task, 7);
+        assert_eq!(restored.pool.len(), pool.len());
+        let probe = Matrix::from_rows(&[vec![1.0, 0.3], vec![-1.2, 0.1]]).unwrap();
+        assert_eq!(mlp.logits(&probe), restored.model.logits(&probe));
+        assert_eq!(mlp.features(&probe), restored.model.features(&probe));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (mlp, pool) = trained_state();
+        let dir = std::env::temp_dir().join("faction_checkpoint_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        Checkpoint::capture(&mlp, &pool, 2).save(&path).unwrap();
+        let restored = Checkpoint::load(&path).unwrap();
+        assert_eq!(restored.version, CURRENT_VERSION);
+        assert_eq!(restored.pool.labels(), pool.labels());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_version_rejected() {
+        let (mlp, pool) = trained_state();
+        let mut checkpoint = Checkpoint::capture(&mlp, &pool, 0);
+        checkpoint.version = CURRENT_VERSION + 5;
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        assert!(matches!(
+            Checkpoint::from_json(&json),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(CheckpointError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let missing = std::env::temp_dir().join("faction_no_such_checkpoint.json");
+        assert!(matches!(Checkpoint::load(&missing), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn resumed_learner_continues_training() {
+        // Restore, then keep training — the resumed model must still learn.
+        let (mlp, pool) = trained_state();
+        let checkpoint = Checkpoint::capture(&mlp, &pool, 0);
+        let mut restored = Checkpoint::from_json(&checkpoint.to_json().unwrap()).unwrap();
+        let mut opt = Sgd::new(0.1);
+        let mut rng = SeedRng::new(9);
+        let losses = restored.model.fit(
+            &restored.pool.features(),
+            restored.pool.labels(),
+            restored.pool.sensitives(),
+            &CrossEntropyLoss,
+            &mut opt,
+            &TrainOptions { epochs: 5, batch_size: 16 },
+            &mut rng,
+        );
+        assert!(losses.last().unwrap().is_finite());
+        let preds = restored.model.predict(&restored.pool.features());
+        let acc = faction_fairness::accuracy(&preds, restored.pool.labels());
+        assert!(acc > 0.8, "resumed accuracy {acc}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The labeled task pool `D_t` and the online model that retrains on it.
+
+use faction_linalg::{Matrix, SeedRng};
+use faction_nn::{BatchLoss, Mlp, MlpConfig, Optimizer, Sgd, TrainOptions};
+
+use crate::config::ExperimentConfig;
+
+/// The growing pool of labeled samples `D_t = {D_i^labeled}` accumulated
+/// across tasks (paper Sec. IV-A). Sensitive attributes travel with the
+/// features (they are inputs, not labels), while class labels are only added
+/// once the oracle revealed them.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct LabeledPool {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    sensitives: Vec<i8>,
+}
+
+impl LabeledPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of labeled samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no samples have been labeled yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds one labeled sample.
+    pub fn push(&mut self, x: Vec<f64>, label: usize, sensitive: i8) {
+        self.features.push(x);
+        self.labels.push(label);
+        self.sensitives.push(sensitive);
+    }
+
+    /// Stacks pooled features into an `(n, d)` matrix.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn features(&self) -> Matrix {
+        Matrix::from_rows(&self.features).expect("non-empty rectangular pool")
+    }
+
+    /// Labels of the pooled samples.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sensitive attributes of the pooled samples.
+    pub fn sensitives(&self) -> &[i8] {
+        &self.sensitives
+    }
+
+    /// Count of samples in the sensitive group `s`.
+    pub fn group_count(&self, s: i8) -> usize {
+        self.sensitives.iter().filter(|&&v| v == s).count()
+    }
+
+    /// Count of samples with label `y`.
+    pub fn label_count(&self, y: usize) -> usize {
+        self.labels.iter().filter(|&&v| v == y).count()
+    }
+}
+
+/// The learner's model: an MLP retrained from its current parameters on the
+/// full pool at every AL iteration (Algorithm 1, lines 7–8 — parameters
+/// `θ_temp` warm-start from the previous iteration, matching the online
+/// protocol where `θ_t` evolves rather than restarting).
+#[derive(Debug)]
+pub struct OnlineModel {
+    mlp: Mlp,
+    optimizer: Sgd,
+    train: TrainOptions,
+    rng: SeedRng,
+}
+
+impl OnlineModel {
+    /// Builds a model from an architecture config and experiment settings.
+    pub fn new(arch: &MlpConfig, cfg: &ExperimentConfig, seed: u64) -> Self {
+        OnlineModel {
+            mlp: Mlp::new(arch),
+            optimizer: Sgd::new(cfg.learning_rate).with_momentum(0.9),
+            train: TrainOptions {
+                epochs: cfg.epochs_per_iteration,
+                batch_size: cfg.train_batch_size,
+            },
+            rng: SeedRng::new(seed ^ 0x0111_11E5_EED0_0001),
+        }
+    }
+
+    /// Retrains on the pool with the supplied loss. No-op on an empty pool.
+    /// Returns the final epoch's mean loss.
+    pub fn retrain(&mut self, pool: &LabeledPool, loss: &dyn BatchLoss) -> f64 {
+        if pool.is_empty() {
+            return 0.0;
+        }
+        let x = pool.features();
+        let losses = self.mlp.fit(
+            &x,
+            pool.labels(),
+            pool.sensitives(),
+            loss,
+            &mut self.optimizer,
+            &self.train,
+            &mut self.rng,
+        );
+        losses.last().copied().unwrap_or(0.0)
+    }
+
+    /// Borrow the underlying network (feature extraction, prediction).
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Replaces the learning rate (decaying-γ schedules in the theory
+    /// harness).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        self.optimizer.set_learning_rate(lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faction_nn::CrossEntropyLoss;
+
+    #[test]
+    fn pool_accumulates() {
+        let mut pool = LabeledPool::new();
+        assert!(pool.is_empty());
+        pool.push(vec![1.0, 2.0], 1, 1);
+        pool.push(vec![3.0, 4.0], 0, -1);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.labels(), &[1, 0]);
+        assert_eq!(pool.sensitives(), &[1, -1]);
+        assert_eq!(pool.group_count(1), 1);
+        assert_eq!(pool.label_count(0), 1);
+        assert_eq!(pool.features().shape(), (2, 2));
+    }
+
+    #[test]
+    fn retrain_on_empty_pool_is_noop() {
+        let cfg = ExperimentConfig::quick();
+        let arch = faction_nn::presets::tiny(2, 2, 0);
+        let mut model = OnlineModel::new(&arch, &cfg, 1);
+        let before = model.mlp().predict_proba(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap());
+        assert_eq!(model.retrain(&LabeledPool::new(), &CrossEntropyLoss), 0.0);
+        let after = model.mlp().predict_proba(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap());
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn retrain_improves_fit() {
+        let mut pool = LabeledPool::new();
+        let mut rng = SeedRng::new(3);
+        for _ in 0..60 {
+            let y = usize::from(rng.bernoulli(0.5));
+            let c = if y == 1 { 2.0 } else { -2.0 };
+            pool.push(vec![rng.normal(c, 0.4), rng.normal(c, 0.4)], y, 1);
+        }
+        let cfg = ExperimentConfig::quick();
+        let arch = faction_nn::presets::tiny(2, 2, 0);
+        let mut model = OnlineModel::new(&arch, &cfg, 1);
+        let mut last = f64::INFINITY;
+        for _ in 0..6 {
+            last = model.retrain(&pool, &CrossEntropyLoss);
+        }
+        assert!(last < 0.2, "loss after repeated retraining {last}");
+        let preds = model.mlp().predict(&pool.features());
+        let acc = faction_fairness::accuracy(&preds, pool.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+}

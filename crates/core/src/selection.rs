@@ -1,0 +1,208 @@
+//! Sample acquisition: Eq. (7) normalization and the Bernoulli-trial loop of
+//! Algorithm 1 (lines 19–36).
+
+use faction_linalg::{vector, SeedRng};
+
+/// How a strategy's desirability scores are turned into acquired samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcquisitionMode {
+    /// Deterministically take the top-`A` samples by desirability (classic
+    /// pool-based AL; used by Random / Entropy / DDU / FAL / FAL-CUR /
+    /// Decoupled as adapted in Sec. V-A2).
+    TopK,
+    /// The paper's probabilistic scheme: visit samples in descending
+    /// desirability `ω(x)` and run `Bernoulli(min(α·ω(x), 1))` trials until
+    /// the acquisition batch is filled (Algorithm 1, line 29). Used by
+    /// FACTION and QuFUR.
+    Probabilistic {
+        /// Query-rate hyperparameter `α` (paper sweeps `{0.1, …, 10}`).
+        alpha: f64,
+    },
+}
+
+/// Normalizes raw scores where **lower is better to query** (the paper's
+/// `u(x)`) into desirability `ω(x) = 1 − Normalize(u(x))` (Eq. 7), where
+/// higher is better.
+pub fn desirability_from_scores(u: &[f64]) -> Vec<f64> {
+    vector::min_max_normalize(u).into_iter().map(|v| 1.0 - v).collect()
+}
+
+/// Selects up to `batch` sample indices from `desirability` (higher = query
+/// first) according to `mode`. Never returns more than `desirability.len()`
+/// indices, never repeats an index.
+///
+/// For the probabilistic mode, repeated passes are made over the candidates
+/// in descending-desirability order (the algorithm's outer `while` loop);
+/// a bounded number of passes guards against the measure-zero situation
+/// where every `ω ≈ 0` and trials never succeed, in which case the remainder
+/// is filled deterministically from the top — the budget must be spent
+/// either way, matching the protocol's "query until the budget is
+/// exhausted".
+pub fn acquire(
+    desirability: &[f64],
+    batch: usize,
+    mode: AcquisitionMode,
+    rng: &mut SeedRng,
+) -> Vec<usize> {
+    let n = desirability.len();
+    let want = batch.min(n);
+    if want == 0 {
+        return Vec::new();
+    }
+    // Descending order by desirability, ties by index for determinism.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        desirability[b]
+            .partial_cmp(&desirability[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    match mode {
+        AcquisitionMode::TopK => order.into_iter().take(want).collect(),
+        AcquisitionMode::Probabilistic { alpha } => {
+            let mut selected = Vec::with_capacity(want);
+            let mut taken = vec![false; n];
+            const MAX_PASSES: usize = 64;
+            'passes: for _ in 0..MAX_PASSES {
+                for &idx in &order {
+                    if taken[idx] {
+                        continue;
+                    }
+                    let p = (alpha * desirability[idx]).min(1.0);
+                    if rng.bernoulli(p) {
+                        taken[idx] = true;
+                        selected.push(idx);
+                        if selected.len() == want {
+                            break 'passes;
+                        }
+                    }
+                }
+            }
+            // Degenerate fallback: fill from the top if trials starved.
+            if selected.len() < want {
+                for &idx in &order {
+                    if !taken[idx] {
+                        taken[idx] = true;
+                        selected.push(idx);
+                        if selected.len() == want {
+                            break;
+                        }
+                    }
+                }
+            }
+            selected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desirability_inverts_scores() {
+        // Lowest u must get the highest ω.
+        let u = [5.0, 1.0, 3.0];
+        let w = desirability_from_scores(&u);
+        assert_eq!(w, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn constant_scores_give_full_desirability() {
+        // Eq. 7 with a constant batch: Normalize → 0, ω → 1 for everyone.
+        let w = desirability_from_scores(&[2.0, 2.0, 2.0]);
+        assert_eq!(w, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn topk_takes_best() {
+        let mut rng = SeedRng::new(1);
+        let picked = acquire(&[0.1, 0.9, 0.5, 0.7], 2, AcquisitionMode::TopK, &mut rng);
+        assert_eq!(picked, vec![1, 3]);
+    }
+
+    #[test]
+    fn topk_ties_break_by_index() {
+        let mut rng = SeedRng::new(1);
+        let picked = acquire(&[0.5, 0.5, 0.5], 2, AcquisitionMode::TopK, &mut rng);
+        assert_eq!(picked, vec![0, 1]);
+    }
+
+    #[test]
+    fn never_selects_more_than_available() {
+        let mut rng = SeedRng::new(2);
+        let picked = acquire(&[0.3, 0.6], 10, AcquisitionMode::TopK, &mut rng);
+        assert_eq!(picked.len(), 2);
+        let picked =
+            acquire(&[0.3, 0.6], 10, AcquisitionMode::Probabilistic { alpha: 1.0 }, &mut rng);
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn probabilistic_returns_exactly_batch_unique_indices() {
+        let mut rng = SeedRng::new(3);
+        let w: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        let picked = acquire(&w, 20, AcquisitionMode::Probabilistic { alpha: 0.9 }, &mut rng);
+        assert_eq!(picked.len(), 20);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "no duplicates allowed");
+    }
+
+    #[test]
+    fn probabilistic_prefers_high_desirability() {
+        // With α small, acquisition is stochastic; high-ω samples must be
+        // selected far more often across repetitions.
+        let mut high_hits = 0;
+        let mut low_hits = 0;
+        for seed in 0..200 {
+            let mut rng = SeedRng::new(seed);
+            let w = [0.95, 0.9, 0.92, 0.05, 0.02, 0.08];
+            let picked = acquire(&w, 2, AcquisitionMode::Probabilistic { alpha: 0.7 }, &mut rng);
+            for &i in &picked {
+                if i < 3 {
+                    high_hits += 1;
+                } else {
+                    low_hits += 1;
+                }
+            }
+        }
+        assert!(
+            high_hits > 5 * low_hits,
+            "high-ω {high_hits} vs low-ω {low_hits} selections"
+        );
+    }
+
+    #[test]
+    fn zero_desirability_still_fills_batch() {
+        // All-zero ω: Bernoulli never fires; fallback must fill.
+        let mut rng = SeedRng::new(4);
+        let picked =
+            acquire(&[0.0; 5], 3, AcquisitionMode::Probabilistic { alpha: 1.0 }, &mut rng);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty() {
+        let mut rng = SeedRng::new(5);
+        assert!(acquire(&[], 4, AcquisitionMode::TopK, &mut rng).is_empty());
+        assert!(acquire(&[0.5], 0, AcquisitionMode::TopK, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn alpha_scales_selection_pressure() {
+        // With α = 10 even mediocre ω gets picked in one pass; check the
+        // worked example from Sec. IV-D: ω = 0.8, α = 0.9 → p = 0.72.
+        let mut hits = 0;
+        let trials = 20_000;
+        let mut rng = SeedRng::new(6);
+        for _ in 0..trials {
+            if rng.bernoulli((0.9f64 * 0.8).min(1.0)) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.72).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,257 @@
+//! The FACTION selection strategy (paper Sec. IV-C / IV-D, Algorithm 1).
+//!
+//! Per AL iteration:
+//!
+//! 1. extract features `z = r(x, θ_{t−1})` for the labeled pool and fit the
+//!    fairness-sensitive density estimator `G(z)` with one component per
+//!    (class, sensitive) pair (Sec. IV-B);
+//! 2. score each unlabeled candidate with Eq. (6),
+//!    `u(x) = g(z) − λ Σ_c p_c^x Δg_c(z)` — *low* `u` means high epistemic
+//!    uncertainty and/or high unfairness, both reasons to query;
+//! 3. convert to desirability `ω(x) = 1 − Normalize(u(x))` (Eq. 7) and let
+//!    the runner perform `Bernoulli(min(α·ω, 1))` acquisition trials
+//!    (Algorithm 1, line 29).
+//!
+//! The two ablation switches of Fig. 4 / Table I live here: `fair_select`
+//! removes the `λ Σ p_c Δg_c` term from Eq. (6) ("w/o Fair Select") and
+//! `fair_reg` swaps the training loss back to plain cross-entropy
+//! ("w/o Fair Reg"). Disabling both leaves pure epistemic-uncertainty
+//! selection, i.e. the DDU-style variant in the ablation tables.
+
+use faction_density::{FairDensityConfig, FairDensityEstimator};
+use faction_fairness::TotalLossConfig;
+use faction_linalg::SeedRng;
+use faction_nn::{BatchLoss, CrossEntropyLoss};
+
+use crate::loss::FairTotalLoss;
+use crate::selection::{desirability_from_scores, AcquisitionMode};
+use crate::strategies::{SelectionContext, Strategy};
+
+/// Hyperparameters for the FACTION strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct FactionParams {
+    /// Trade-off `λ` between epistemic uncertainty and the fairness gaps in
+    /// Eq. (6). Paper tuning range `{1e-4, …, 100}`.
+    pub lambda: f64,
+    /// Query-rate `α` of the Bernoulli trials. Paper range `{0.1, …, 10}`.
+    pub alpha: f64,
+    /// Density-estimator settings (ridge, covariance sharing).
+    pub density: FairDensityConfig,
+    /// Fairness-regularized loss settings (μ, ε, notion) used when
+    /// `fair_reg` is on.
+    pub loss: TotalLossConfig,
+    /// Include the fairness term of Eq. (6) in selection.
+    pub fair_select: bool,
+    /// Train with the fairness-regularized loss of Eq. (9).
+    pub fair_reg: bool,
+}
+
+impl Default for FactionParams {
+    fn default() -> Self {
+        FactionParams {
+            lambda: 1.0,
+            alpha: 3.0,
+            density: FairDensityConfig::default(),
+            loss: TotalLossConfig::default(),
+            fair_select: true,
+            fair_reg: true,
+        }
+    }
+}
+
+/// The FACTION strategy with ablation switches.
+#[derive(Debug, Clone)]
+pub struct Faction {
+    params: FactionParams,
+}
+
+impl Faction {
+    /// Creates FACTION (or one of its ablated variants) from parameters.
+    pub fn new(params: FactionParams) -> Self {
+        Faction { params }
+    }
+
+    /// The "w/o Fair Select" ablation of Fig. 4.
+    pub fn without_fair_select(mut params: FactionParams) -> Self {
+        params.fair_select = false;
+        Faction { params }
+    }
+
+    /// The "w/o Fair Reg" ablation of Fig. 4.
+    pub fn without_fair_reg(mut params: FactionParams) -> Self {
+        params.fair_reg = false;
+        Faction { params }
+    }
+
+    /// The "w/o Fair Select & Fair Reg" ablation (pure epistemic
+    /// uncertainty).
+    pub fn uncertainty_only(mut params: FactionParams) -> Self {
+        params.fair_select = false;
+        params.fair_reg = false;
+        Faction { params }
+    }
+
+    /// Current parameters (read-only).
+    pub fn params(&self) -> &FactionParams {
+        &self.params
+    }
+
+    /// Computes the raw Eq. (6) scores `u(x)` (lower = query first) for a
+    /// candidate batch. Exposed for the scoring micro-benchmarks.
+    pub fn raw_scores(&self, ctx: &SelectionContext<'_>) -> Vec<f64> {
+        let n = ctx.candidates.rows();
+        // Fit G(z) on the pool's learned features (Algorithm 1, lines 9–18).
+        let pool_features = ctx.model.mlp().features(&ctx.pool.features());
+        let estimator = FairDensityEstimator::fit(
+            &pool_features,
+            ctx.pool.labels(),
+            ctx.pool.sensitives(),
+            ctx.num_classes,
+            &self.params.density,
+        );
+        let estimator = match estimator {
+            Ok(e) => e,
+            // Degenerate pool (e.g. a single sample): no density signal yet;
+            // every candidate is equally desirable.
+            Err(_) => return vec![0.0; n],
+        };
+        let z = ctx.model.mlp().features(ctx.candidates);
+        let probs = ctx.model.mlp().predict_proba(ctx.candidates);
+        let mut scores = Vec::with_capacity(n);
+        for i in 0..n {
+            let zi = z.row(i);
+            let g = estimator.log_density(zi).unwrap_or(f64::NEG_INFINITY);
+            let fairness_term = if self.params.fair_select {
+                let gaps = estimator.delta_g_all(zi).unwrap_or_default();
+                gaps.iter()
+                    .enumerate()
+                    .map(|(c, gap)| probs.get(i, c) * gap)
+                    .sum::<f64>()
+            } else {
+                0.0
+            };
+            scores.push(g - self.params.lambda * fairness_term);
+        }
+        scores
+    }
+}
+
+impl Strategy for Faction {
+    fn name(&self) -> String {
+        match (self.params.fair_select, self.params.fair_reg) {
+            (true, true) => "FACTION".into(),
+            (false, true) => "FACTION w/o Fair Select".into(),
+            (true, false) => "FACTION w/o Fair Reg".into(),
+            (false, false) => "FACTION w/o Fair Select & Fair Reg".into(),
+        }
+    }
+
+    fn desirability(&mut self, ctx: &SelectionContext<'_>, _rng: &mut SeedRng) -> Vec<f64> {
+        desirability_from_scores(&self.raw_scores(ctx))
+    }
+
+    fn mode(&self) -> AcquisitionMode {
+        AcquisitionMode::Probabilistic { alpha: self.params.alpha }
+    }
+
+    fn training_loss(&self) -> Box<dyn BatchLoss> {
+        if self.params.fair_reg {
+            Box::new(FairTotalLoss::new(self.params.loss))
+        } else {
+            Box::new(CrossEntropyLoss)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::testutil::{check_strategy_contract, Fixture};
+
+    #[test]
+    fn satisfies_strategy_contract() {
+        check_strategy_contract(&mut Faction::new(FactionParams::default()), 11);
+        check_strategy_contract(&mut Faction::uncertainty_only(FactionParams::default()), 12);
+    }
+
+    #[test]
+    fn ood_candidates_are_more_desirable() {
+        // The fixture's candidates 20..40 are far out-of-distribution; low
+        // density → low u → high ω.
+        let fixture = Fixture::new(21);
+        let ctx = fixture.ctx();
+        let mut strategy = Faction::new(FactionParams::default());
+        let mut rng = faction_linalg::SeedRng::new(0);
+        let w = strategy.desirability(&ctx, &mut rng);
+        let familiar: f64 = w[..20].iter().sum::<f64>() / 20.0;
+        let ood: f64 = w[20..].iter().sum::<f64>() / 20.0;
+        assert!(ood > familiar + 0.2, "ood {ood} vs familiar {familiar}");
+    }
+
+    #[test]
+    fn lambda_zero_matches_uncertainty_only_selection() {
+        let fixture = Fixture::new(22);
+        let ctx = fixture.ctx();
+        let with_zero_lambda =
+            Faction::new(FactionParams { lambda: 0.0, ..Default::default() });
+        let no_fair_select = Faction::without_fair_select(FactionParams::default());
+        let a = with_zero_lambda.raw_scores(&ctx);
+        let b = no_fair_select.raw_scores(&ctx);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fairness_term_changes_ranking() {
+        let fixture = Fixture::new(23);
+        let ctx = fixture.ctx();
+        let plain = Faction::without_fair_select(FactionParams::default()).raw_scores(&ctx);
+        let fair =
+            Faction::new(FactionParams { lambda: 50.0, ..Default::default() }).raw_scores(&ctx);
+        // With a large λ the fairness gaps must perturb at least one score.
+        let changed = plain
+            .iter()
+            .zip(&fair)
+            .any(|(a, b)| (a - b).abs() > 1e-9);
+        assert!(changed, "λ = 50 must change Eq. 6 scores");
+    }
+
+    #[test]
+    fn ablation_names_are_distinct() {
+        let p = FactionParams::default();
+        let names = [
+            Faction::new(p).name(),
+            Faction::without_fair_select(p).name(),
+            Faction::without_fair_reg(p).name(),
+            Faction::uncertainty_only(p).name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn mode_is_probabilistic_with_alpha() {
+        let strategy = Faction::new(FactionParams { alpha: 2.5, ..Default::default() });
+        assert_eq!(strategy.mode(), AcquisitionMode::Probabilistic { alpha: 2.5 });
+    }
+
+    #[test]
+    fn training_loss_respects_fair_reg_flag() {
+        // Indirect check: the fair loss must differ from CE on a biased
+        // batch; the CE-only ablation must not.
+        use faction_linalg::Matrix;
+        use faction_nn::BatchMeta;
+        let logits = Matrix::from_rows(&[vec![-2.0, 2.0], vec![2.0, -2.0]]).unwrap();
+        let labels = [1usize, 0];
+        let sens = [1i8, -1];
+        let meta = BatchMeta { labels: &labels, sensitive: &sens };
+        let p = FactionParams::default();
+        let (fair_loss, _) = Faction::new(p).training_loss().loss_and_grad(&logits, &meta);
+        let (ce_loss, _) =
+            Faction::without_fair_reg(p).training_loss().loss_and_grad(&logits, &meta);
+        assert!((fair_loss - ce_loss).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,73 @@
+//! Margin sampling (paper Sec. III-B, [42]): the classic uncertainty
+//! heuristic comparing the probabilities of the top two classes. Included as
+//! an additional non-fairness-aware baseline alongside Entropy-AL — the two
+//! coincide for well-calibrated binary models but diverge under skewed
+//! confidence, which the shifted environments produce.
+
+use faction_linalg::SeedRng;
+
+use crate::selection::AcquisitionMode;
+use crate::strategies::{SelectionContext, Strategy};
+
+/// Selects the candidates with the smallest top-two probability margin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarginAl;
+
+impl Strategy for MarginAl {
+    fn name(&self) -> String {
+        "Margin-AL".into()
+    }
+
+    fn desirability(&mut self, ctx: &SelectionContext<'_>, _rng: &mut SeedRng) -> Vec<f64> {
+        let probs = ctx.model.mlp().predict_proba(ctx.candidates);
+        // Small margin = ambiguous = desirable; invert so higher is better.
+        faction_nn::loss::margin_per_row(&probs)
+            .into_iter()
+            .map(|m| 1.0 - m)
+            .collect()
+    }
+
+    fn mode(&self) -> AcquisitionMode {
+        AcquisitionMode::TopK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::testutil::{check_strategy_contract, Fixture};
+
+    #[test]
+    fn satisfies_strategy_contract() {
+        check_strategy_contract(&mut MarginAl, 101);
+    }
+
+    #[test]
+    fn ambiguous_candidates_outrank_confident_ones() {
+        let fixture = Fixture::new(102);
+        let ctx = fixture.ctx();
+        let mut rng = SeedRng::new(0);
+        let scores = MarginAl.desirability(&ctx, &mut rng);
+        let probs = ctx.model.mlp().predict_proba(ctx.candidates);
+        // The candidate with the most extreme confidence must not have the
+        // top desirability.
+        let most_confident = (0..probs.rows())
+            .max_by(|&a, &b| {
+                let ca = (probs.get(a, 0) - 0.5).abs();
+                let cb = (probs.get(b, 0) - 0.5).abs();
+                ca.partial_cmp(&cb).unwrap()
+            })
+            .unwrap();
+        let best = faction_linalg::vector::argmax(&scores).unwrap();
+        assert_ne!(best, most_confident);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let fixture = Fixture::new(103);
+        let ctx = fixture.ctx();
+        let mut rng = SeedRng::new(0);
+        let scores = MarginAl.desirability(&ctx, &mut rng);
+        assert!(scores.iter().all(|s| (0.0..=1.0 + 1e-12).contains(s)));
+    }
+}

@@ -1,0 +1,70 @@
+//! The naive Random baseline: uniform selection (paper Sec. V-A2).
+
+use faction_linalg::SeedRng;
+
+use crate::selection::AcquisitionMode;
+use crate::strategies::{SelectionContext, Strategy};
+
+/// Selects samples uniformly at random.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Random;
+
+impl Strategy for Random {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn desirability(&mut self, ctx: &SelectionContext<'_>, rng: &mut SeedRng) -> Vec<f64> {
+        (0..ctx.candidates.rows()).map(|_| rng.uniform()).collect()
+    }
+
+    fn mode(&self) -> AcquisitionMode {
+        AcquisitionMode::TopK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::testutil::{check_strategy_contract, Fixture};
+
+    #[test]
+    fn satisfies_strategy_contract() {
+        check_strategy_contract(&mut Random, 31);
+    }
+
+    #[test]
+    fn scores_are_uniform_noise() {
+        let fixture = Fixture::new(32);
+        let ctx = fixture.ctx();
+        let mut rng = SeedRng::new(0);
+        let a = Random.desirability(&ctx, &mut rng);
+        let b = Random.desirability(&ctx, &mut rng);
+        assert_ne!(a, b, "fresh noise per call");
+        assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn selection_is_unbiased_across_positions() {
+        // Over many draws, the first and last candidate should be picked at
+        // similar rates.
+        let fixture = Fixture::new(33);
+        let ctx = fixture.ctx();
+        let mut first = 0;
+        let mut last = 0;
+        for seed in 0..400 {
+            let mut rng = SeedRng::new(seed);
+            let scores = Random.desirability(&ctx, &mut rng);
+            let picked =
+                crate::selection::acquire(&scores, 10, AcquisitionMode::TopK, &mut rng);
+            if picked.contains(&0) {
+                first += 1;
+            }
+            if picked.contains(&39) {
+                last += 1;
+            }
+        }
+        let ratio = first as f64 / last.max(1) as f64;
+        assert!((0.6..1.7).contains(&ratio), "positional bias: {first} vs {last}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Sample-by-sample arrival support (paper Sec. IV-D: "This can extend to
+//! other settings not explored here, like samples arriving individually,
+//! where the normalization range can be updated incrementally with all
+//! gathered scores").
+//!
+//! [`StreamingNormalizer`] maintains the running score range so that Eq. (7)
+//! — `ω(x) = 1 − Normalize(u(x))` — can be evaluated online, one sample at a
+//! time, without waiting for a batch. [`StreamingSelector`] couples it with
+//! the Bernoulli trial of Algorithm 1 line 29 and a per-task budget, giving
+//! a complete one-pass selection loop.
+
+use faction_linalg::SeedRng;
+
+/// Incrementally updated min–max normalizer for Eq. (7).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingNormalizer {
+    lo: Option<f64>,
+    hi: Option<f64>,
+    count: usize,
+}
+
+impl StreamingNormalizer {
+    /// Creates an empty normalizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scores observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Observes a score, widening the running range. Non-finite scores are
+    /// counted but do not affect the range.
+    pub fn observe(&mut self, score: f64) {
+        self.count += 1;
+        if !score.is_finite() {
+            return;
+        }
+        self.lo = Some(self.lo.map_or(score, |lo| lo.min(score)));
+        self.hi = Some(self.hi.map_or(score, |hi| hi.max(score)));
+    }
+
+    /// Normalizes a score against the range seen *so far*, clamped to
+    /// `[0, 1]`. Before any spread exists (zero or one observation, or a
+    /// constant stream) every score maps to `0.0`, mirroring the batch
+    /// normalizer's constant-input convention — which makes the desirability
+    /// `ω = 1` and lets early samples through, the right cold-start
+    /// behavior for an empty model.
+    pub fn normalize(&self, score: f64) -> f64 {
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) if hi > lo => ((score - lo) / (hi - lo)).clamp(0.0, 1.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Desirability `ω = 1 − Normalize(score)` under the running range.
+    pub fn desirability(&self, score: f64) -> f64 {
+        1.0 - self.normalize(score)
+    }
+}
+
+/// One-pass streaming selector: observe a score, decide to query via a
+/// Bernoulli trial, respect a budget.
+#[derive(Debug, Clone)]
+pub struct StreamingSelector {
+    normalizer: StreamingNormalizer,
+    alpha: f64,
+    budget: usize,
+    acquired: usize,
+}
+
+impl StreamingSelector {
+    /// Creates a selector with query-rate `alpha` and a total `budget`.
+    pub fn new(alpha: f64, budget: usize) -> Self {
+        StreamingSelector {
+            normalizer: StreamingNormalizer::new(),
+            alpha,
+            budget,
+            acquired: 0,
+        }
+    }
+
+    /// Labels acquired so far.
+    pub fn acquired(&self) -> usize {
+        self.acquired
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> usize {
+        self.budget.saturating_sub(self.acquired)
+    }
+
+    /// Processes one incoming sample's raw score `u(x)` (lower = more
+    /// desirable). Returns `true` if the sample should be queried. The score
+    /// is folded into the running range *before* the decision so the range
+    /// always reflects all gathered scores, per Sec. IV-D.
+    pub fn offer(&mut self, score: f64, rng: &mut SeedRng) -> bool {
+        self.normalizer.observe(score);
+        if self.remaining() == 0 {
+            return false;
+        }
+        let omega = self.normalizer.desirability(score);
+        let p = (self.alpha * omega).min(1.0);
+        if rng.bernoulli(p) {
+            self.acquired += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_normalizer_maps_to_zero() {
+        let n = StreamingNormalizer::new();
+        assert_eq!(n.normalize(5.0), 0.0);
+        assert_eq!(n.desirability(5.0), 1.0);
+    }
+
+    #[test]
+    fn range_tracks_observations() {
+        let mut n = StreamingNormalizer::new();
+        n.observe(2.0);
+        n.observe(6.0);
+        assert_eq!(n.count(), 2);
+        assert!((n.normalize(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(n.normalize(2.0), 0.0);
+        assert_eq!(n.normalize(6.0), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_scores_clamp() {
+        let mut n = StreamingNormalizer::new();
+        n.observe(0.0);
+        n.observe(1.0);
+        assert_eq!(n.normalize(-5.0), 0.0);
+        assert_eq!(n.normalize(9.0), 1.0);
+    }
+
+    #[test]
+    fn converges_to_batch_normalization() {
+        // After observing a whole batch, streaming normalization equals the
+        // batch min–max normalization of the same scores.
+        let scores = [3.0, -1.0, 7.0, 2.0, 0.5];
+        let mut n = StreamingNormalizer::new();
+        for &s in &scores {
+            n.observe(s);
+        }
+        let batch = faction_linalg::vector::min_max_normalize(&scores);
+        for (i, &s) in scores.iter().enumerate() {
+            assert!((n.normalize(s) - batch[i]).abs() < 1e-12, "score {s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_are_ignored_for_range() {
+        let mut n = StreamingNormalizer::new();
+        n.observe(f64::NAN);
+        n.observe(1.0);
+        n.observe(3.0);
+        assert_eq!(n.count(), 3);
+        assert!((n.normalize(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selector_respects_budget() {
+        let mut rng = SeedRng::new(1);
+        let mut selector = StreamingSelector::new(10.0, 3);
+        let mut taken = 0;
+        for i in 0..100 {
+            if selector.offer(i as f64 % 7.0, &mut rng) {
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 3);
+        assert_eq!(selector.acquired(), 3);
+        assert_eq!(selector.remaining(), 0);
+    }
+
+    #[test]
+    fn low_scores_are_favored() {
+        // Feed alternating low/high scores; low (more desirable) scores
+        // must be selected much more often across seeds.
+        let mut low_hits = 0;
+        let mut high_hits = 0;
+        for seed in 0..200 {
+            let mut rng = SeedRng::new(seed);
+            let mut selector = StreamingSelector::new(0.8, usize::MAX);
+            // Prime the range.
+            selector.offer(0.0, &mut rng);
+            selector.offer(10.0, &mut rng);
+            for i in 0..40 {
+                let score = if i % 2 == 0 { 0.5 } else { 9.5 };
+                let took = selector.offer(score, &mut rng);
+                if took {
+                    if i % 2 == 0 {
+                        low_hits += 1;
+                    } else {
+                        high_hits += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            low_hits > 5 * high_hits,
+            "low-score selections {low_hits} vs high {high_hits}"
+        );
+    }
+}

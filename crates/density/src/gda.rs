@@ -1,0 +1,410 @@
+//! The fairness-sensitive GDA mixture estimator (paper Sec. IV-B).
+//!
+//! One Gaussian component per (class, sensitive) pair, fitted by Gaussian
+//! Discriminant Analysis over feature vectors — following the paper's choice
+//! of GDA / GMM over Gaussian processes or normalizing flows ([18], [46]).
+
+use std::collections::HashMap;
+
+use faction_linalg::{vector, Matrix};
+
+use crate::gaussian::Gaussian;
+use crate::DensityError;
+
+/// Identifies one mixture component: a class label and a sensitive value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentKey {
+    /// Class label `y`.
+    pub class: usize,
+    /// Sensitive attribute `s ∈ {−1, +1}`.
+    pub sensitive: i8,
+}
+
+/// Fitting configuration for [`FairDensityEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct FairDensityConfig {
+    /// Ridge added to every component covariance. Keeps small components
+    /// positive definite (see `Gaussian::fit`).
+    pub ridge: f64,
+    /// When `true`, all components share the covariance pooled over the
+    /// whole training set and differ only in their means — the classic GDA
+    /// variant of Lee et al. [18]. When `false` (default, matching the
+    /// paper's description "computing the mean and covariance from the
+    /// feature vectors of all labeled training samples with the
+    /// corresponding class label and sensitive attribute"), each component
+    /// gets its own covariance. This is one of the ablation axes listed in
+    /// `DESIGN.md` §5.
+    pub shared_covariance: bool,
+}
+
+impl Default for FairDensityConfig {
+    fn default() -> Self {
+        FairDensityConfig { ridge: 1e-3, shared_covariance: false }
+    }
+}
+
+/// The fitted `C × S` component mixture with empirical priors `p(y, s)`.
+#[derive(Debug, Clone)]
+pub struct FairDensityEstimator {
+    dim: usize,
+    num_classes: usize,
+    sensitive_values: Vec<i8>,
+    components: HashMap<ComponentKey, (Gaussian, f64)>,
+}
+
+impl FairDensityEstimator {
+    /// Fits the estimator from a feature matrix (one row per sample), class
+    /// labels and sensitive attributes.
+    ///
+    /// Cells `(y, s)` with no samples simply get no component; their density
+    /// contribution to Eq. (3) is zero (prior `p(y,s) = 0`), and the fairness
+    /// gap `Δg_y` treats them as "no signal" (see [`Self::delta_g`]).
+    ///
+    /// # Errors
+    /// * [`DensityError::NoData`] if `features` has no rows.
+    /// * [`DensityError::DimensionMismatch`] if `labels`/`sensitive` lengths
+    ///   disagree with the number of rows.
+    /// * [`DensityError::Linalg`] if a component covariance cannot be
+    ///   factored even with jitter.
+    pub fn fit(
+        features: &Matrix,
+        labels: &[usize],
+        sensitive: &[i8],
+        num_classes: usize,
+        cfg: &FairDensityConfig,
+    ) -> Result<Self, DensityError> {
+        let n = features.rows();
+        if n == 0 {
+            return Err(DensityError::NoData);
+        }
+        if labels.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: labels.len() });
+        }
+        if sensitive.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: sensitive.len() });
+        }
+        let mut groups: HashMap<ComponentKey, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let key = ComponentKey { class: labels[i], sensitive: sensitive[i] };
+            groups.entry(key).or_default().push(i);
+        }
+        let mut sensitive_values: Vec<i8> = groups.keys().map(|k| k.sensitive).collect();
+        sensitive_values.sort_unstable();
+        sensitive_values.dedup();
+
+        // Optional pooled covariance (per-group-centered, like classic GDA).
+        let pooled_cov = if cfg.shared_covariance {
+            let mut centered_rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+            for indices in groups.values() {
+                let rows: Vec<&[f64]> = indices.iter().map(|&i| features.row(i)).collect();
+                let mean = faction_linalg::stats::mean_vector(&rows)?;
+                for row in rows {
+                    centered_rows.push(vector::sub(row, &mean));
+                }
+            }
+            let refs: Vec<&[f64]> = centered_rows.iter().map(|r| r.as_slice()).collect();
+            Some(faction_linalg::stats::covariance(&refs, cfg.ridge)?)
+        } else {
+            None
+        };
+
+        let mut components = HashMap::with_capacity(groups.len());
+        for (key, indices) in groups {
+            let rows: Vec<&[f64]> = indices.iter().map(|&i| features.row(i)).collect();
+            let gaussian = match &pooled_cov {
+                Some(cov) => {
+                    let mean = faction_linalg::stats::mean_vector(&rows)?;
+                    Gaussian::from_mean_cov(mean, cov)?
+                }
+                None => Gaussian::fit(&rows, cfg.ridge)?,
+            };
+            let log_prior = (indices.len() as f64 / n as f64).ln();
+            components.insert(key, (gaussian, log_prior));
+        }
+        Ok(FairDensityEstimator {
+            dim: features.cols(),
+            num_classes,
+            sensitive_values,
+            components,
+        })
+    }
+
+    /// Fits a **class-only** estimator (the DDU baseline's density): all
+    /// sensitive attributes are collapsed so components are keyed by class
+    /// alone. `Δg_c` is identically zero for such an estimator.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::fit`].
+    pub fn fit_class_only(
+        features: &Matrix,
+        labels: &[usize],
+        num_classes: usize,
+        cfg: &FairDensityConfig,
+    ) -> Result<Self, DensityError> {
+        let collapsed = vec![1i8; features.rows()];
+        Self::fit(features, labels, &collapsed, num_classes, cfg)
+    }
+
+    /// Feature-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes the estimator was fitted for.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of fitted components (≤ `C × S`).
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether a component exists for `(class, sensitive)`.
+    pub fn has_component(&self, class: usize, sensitive: i8) -> bool {
+        self.components.contains_key(&ComponentKey { class, sensitive })
+    }
+
+    /// Log conditional density `log g(z | y, s)`, or `None` when the cell had
+    /// no training samples.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] for a wrong-length `z`.
+    pub fn log_component_density(
+        &self,
+        z: &[f64],
+        class: usize,
+        sensitive: i8,
+    ) -> Result<Option<f64>, DensityError> {
+        match self.components.get(&ComponentKey { class, sensitive }) {
+            Some((g, _)) => Ok(Some(g.log_pdf(z)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The paper's Eq. (3) in log space:
+    /// `log g(z) = logsumexp_{y,s} [ log g(z|y,s) + log p(y,s) ]`.
+    ///
+    /// High values mean the feature vector is familiar (low epistemic
+    /// uncertainty); low values flag novel / out-of-distribution samples.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] for a wrong-length `z`.
+    pub fn log_density(&self, z: &[f64]) -> Result<f64, DensityError> {
+        let mut terms = Vec::with_capacity(self.components.len());
+        for (g, log_prior) in self.components.values() {
+            terms.push(g.log_pdf(z)? + log_prior);
+        }
+        Ok(vector::logsumexp(&terms))
+    }
+
+    /// The fair-epistemic-uncertainty gap of Eqs. (4)–(5) in log space:
+    /// `Δg_c(z) = |log g(z|c, s=+1) − log g(z|c, s=−1)|`.
+    ///
+    /// With more than two sensitive values the gap generalizes to
+    /// `max − min` over the per-group log densities. If fewer than two
+    /// groups have a component for this class there is no cross-group
+    /// comparison to make and the gap is `0` (no fairness signal).
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] for a wrong-length `z`.
+    pub fn delta_g(&self, z: &[f64], class: usize) -> Result<f64, DensityError> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut count = 0;
+        for &s in &self.sensitive_values {
+            if let Some(lp) = self.log_component_density(z, class, s)? {
+                lo = lo.min(lp);
+                hi = hi.max(lp);
+                count += 1;
+            }
+        }
+        if count < 2 {
+            return Ok(0.0);
+        }
+        Ok(hi - lo)
+    }
+
+    /// All per-class gaps `{Δg_c(z)}_{c=1}^C` as a vector indexed by class.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] for a wrong-length `z`.
+    pub fn delta_g_all(&self, z: &[f64]) -> Result<Vec<f64>, DensityError> {
+        (0..self.num_classes).map(|c| self.delta_g(z, c)).collect()
+    }
+
+    /// Batch helper: `log g(z)` for every row of `features`.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] if the feature width
+    /// disagrees with the fitted dimension.
+    pub fn log_density_batch(&self, features: &Matrix) -> Result<Vec<f64>, DensityError> {
+        features.iter_rows().map(|row| self.log_density(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faction_linalg::SeedRng;
+
+    /// Builds a feature set with four well-separated (class, sensitive)
+    /// clusters in 2d.
+    fn four_clusters(n_per: usize, seed: u64) -> (Matrix, Vec<usize>, Vec<i8>) {
+        let mut rng = SeedRng::new(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut sens = Vec::new();
+        let centers = [
+            (0usize, 1i8, [0.0, 0.0]),
+            (0usize, -1i8, [6.0, 0.0]),
+            (1usize, 1i8, [0.0, 6.0]),
+            (1usize, -1i8, [6.0, 6.0]),
+        ];
+        for &(y, s, c) in &centers {
+            for _ in 0..n_per {
+                rows.push(vec![rng.normal(c[0], 0.4), rng.normal(c[1], 0.4)]);
+                labels.push(y);
+                sens.push(s);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels, sens)
+    }
+
+    #[test]
+    fn fits_all_four_components() {
+        let (x, y, s) = four_clusters(30, 1);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        assert_eq!(est.num_components(), 4);
+        assert_eq!(est.dim(), 2);
+        assert!(est.has_component(0, 1) && est.has_component(1, -1));
+    }
+
+    #[test]
+    fn in_distribution_beats_ood_density() {
+        let (x, y, s) = four_clusters(30, 2);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        let familiar = est.log_density(&[0.0, 0.0]).unwrap();
+        let ood = est.log_density(&[30.0, -25.0]).unwrap();
+        assert!(
+            familiar > ood + 10.0,
+            "familiar {familiar} should dominate OOD {ood}"
+        );
+    }
+
+    #[test]
+    fn delta_g_flags_group_specific_samples() {
+        let (x, y, s) = four_clusters(30, 3);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        // A point at the class-0 s=+1 cluster: strongly tied to one group.
+        let unfair = est.delta_g(&[0.0, 0.0], 0).unwrap();
+        // A point midway between the two class-0 group clusters.
+        let fair = est.delta_g(&[3.0, 0.0], 0).unwrap();
+        assert!(unfair > fair, "unfair {unfair} vs fair {fair}");
+        assert!(fair >= 0.0);
+    }
+
+    #[test]
+    fn delta_g_zero_when_one_group_missing() {
+        // Only s=+1 samples for class 0.
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.5, 0.1], vec![0.2, -0.3]]).unwrap();
+        let est = FairDensityEstimator::fit(
+            &x,
+            &[0, 0, 0],
+            &[1, 1, 1],
+            2,
+            &FairDensityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(est.delta_g(&[0.0, 0.0], 0).unwrap(), 0.0);
+        assert_eq!(est.delta_g(&[0.0, 0.0], 1).unwrap(), 0.0); // class absent entirely
+    }
+
+    #[test]
+    fn class_only_estimator_has_zero_gaps() {
+        let (x, y, s) = four_clusters(20, 4);
+        let _ = s;
+        let est =
+            FairDensityEstimator::fit_class_only(&x, &y, 2, &FairDensityConfig::default()).unwrap();
+        assert_eq!(est.num_components(), 2);
+        for z in [[0.0, 0.0], [6.0, 6.0], [3.0, 3.0]] {
+            assert_eq!(est.delta_g(&z, 0).unwrap(), 0.0);
+            assert_eq!(est.delta_g(&z, 1).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_covariance_variant_fits_and_scores() {
+        let (x, y, s) = four_clusters(25, 5);
+        let cfg = FairDensityConfig { shared_covariance: true, ..Default::default() };
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &cfg).unwrap();
+        assert_eq!(est.num_components(), 4);
+        let familiar = est.log_density(&[0.0, 0.0]).unwrap();
+        let ood = est.log_density(&[40.0, 40.0]).unwrap();
+        assert!(familiar > ood);
+    }
+
+    #[test]
+    fn priors_weight_the_mixture() {
+        // 90 samples in one cell, 10 in another; density near the big cell
+        // should exceed density near the small cell at equal offsets.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut sens = Vec::new();
+        let mut rng = SeedRng::new(6);
+        for _ in 0..90 {
+            rows.push(vec![rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)]);
+            labels.push(0);
+            sens.push(1i8);
+        }
+        for _ in 0..10 {
+            rows.push(vec![rng.normal(8.0, 0.3), rng.normal(8.0, 0.3)]);
+            labels.push(1);
+            sens.push(-1i8);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let est =
+            FairDensityEstimator::fit(&x, &labels, &sens, 2, &FairDensityConfig::default())
+                .unwrap();
+        let near_big = est.log_density(&[0.0, 0.0]).unwrap();
+        let near_small = est.log_density(&[8.0, 8.0]).unwrap();
+        assert!(near_big > near_small);
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let (x, y, s) = four_clusters(15, 7);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        let batch = est.log_density_batch(&x).unwrap();
+        for (i, row) in x.iter_rows().enumerate() {
+            assert_eq!(batch[i], est.log_density(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let x = Matrix::zeros(0, 2);
+        assert_eq!(
+            FairDensityEstimator::fit(&x, &[], &[], 2, &FairDensityConfig::default())
+                .unwrap_err(),
+            DensityError::NoData
+        );
+        let x = Matrix::zeros(3, 2);
+        assert!(matches!(
+            FairDensityEstimator::fit(&x, &[0, 1], &[1, 1, 1], 2, &FairDensityConfig::default()),
+            Err(DensityError::DimensionMismatch { .. })
+        ));
+        let (x, y, s) = four_clusters(10, 8);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        assert!(est.log_density(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn delta_g_all_has_one_entry_per_class() {
+        let (x, y, s) = four_clusters(12, 9);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        let gaps = est.delta_g_all(&[1.0, 1.0]).unwrap();
+        assert_eq!(gaps.len(), 2);
+        assert!(gaps.iter().all(|g| g.is_finite() && *g >= 0.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Individual-fairness extension (paper Sec. IV-H: "With an appropriate
+//! similarity metric, FACTION could enforce individual fairness by
+//! penalizing inconsistent treatment of similar samples").
+//!
+//! The consistency penalty over a batch is
+//!
+//! ```text
+//! L_ind = mean over similar pairs (i, j) of (h_i − h_j)²
+//! ```
+//!
+//! where a pair is *similar* when the feature distance is below a threshold
+//! `τ` under the provided metric. The penalty is differentiable in the
+//! outputs `h`, so it slots into the same total-loss machinery as the group
+//! notion: `∂L_ind/∂h_i = (2/|P|) Σ_{j: (i,j)∈P} (h_i − h_j)`.
+//!
+//! Pair enumeration is `O(n²)` in the batch size; batches in this system
+//! are ≤ a few hundred samples, so the exact computation is used (a `max
+//! pairs` cap guards pathological callers).
+
+/// Configuration for the individual-fairness consistency penalty.
+#[derive(Debug, Clone, Copy)]
+pub struct IndividualFairness {
+    /// Similarity threshold `τ` on the squared feature distance.
+    pub tau_sq: f64,
+    /// Upper bound on the number of pairs considered (closest-first is NOT
+    /// guaranteed; enumeration is row-major and stops at the cap).
+    pub max_pairs: usize,
+}
+
+impl Default for IndividualFairness {
+    fn default() -> Self {
+        IndividualFairness { tau_sq: 1.0, max_pairs: 20_000 }
+    }
+}
+
+impl IndividualFairness {
+    /// Enumerates similar pairs under the threshold.
+    ///
+    /// # Panics
+    /// Panics if `features` rows disagree in length.
+    pub fn similar_pairs(&self, features: &[&[f64]]) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for i in 0..features.len() {
+            for j in (i + 1)..features.len() {
+                assert_eq!(features[i].len(), features[j].len(), "ragged feature rows");
+                let d: f64 = features[i]
+                    .iter()
+                    .zip(features[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if d <= self.tau_sq {
+                    pairs.push((i, j));
+                    if pairs.len() >= self.max_pairs {
+                        return pairs;
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Consistency penalty and its gradient with respect to the outputs.
+    ///
+    /// Returns `(value, grad)` with `grad.len() == outputs.len()`; both are
+    /// zero when no similar pairs exist.
+    ///
+    /// # Panics
+    /// Panics if `outputs.len() != features.len()`.
+    pub fn penalty(&self, outputs: &[f64], features: &[&[f64]]) -> (f64, Vec<f64>) {
+        assert_eq!(outputs.len(), features.len(), "outputs/features length mismatch");
+        let pairs = self.similar_pairs(features);
+        let mut grad = vec![0.0; outputs.len()];
+        if pairs.is_empty() {
+            return (0.0, grad);
+        }
+        let inv = 1.0 / pairs.len() as f64;
+        let mut value = 0.0;
+        for &(i, j) in &pairs {
+            let diff = outputs[i] - outputs[j];
+            value += diff * diff;
+            grad[i] += 2.0 * diff * inv;
+            grad[j] -= 2.0 * diff * inv;
+        }
+        (value * inv, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn identical_treatment_has_zero_penalty() {
+        let features: Vec<&[f64]> = vec![&[0.0, 0.0], &[0.1, 0.0], &[5.0, 5.0]];
+        let outputs = [0.7, 0.7, 0.1];
+        let (value, grad) = IndividualFairness::default().penalty(&outputs, &features);
+        assert!(close(value, 0.0));
+        assert!(grad.iter().all(|g| close(*g, 0.0)));
+    }
+
+    #[test]
+    fn inconsistent_similar_pair_is_penalized() {
+        let features: Vec<&[f64]> = vec![&[0.0, 0.0], &[0.1, 0.0]];
+        let outputs = [0.9, 0.1];
+        let (value, _) = IndividualFairness::default().penalty(&outputs, &features);
+        assert!(close(value, 0.64));
+    }
+
+    #[test]
+    fn distant_pairs_are_ignored() {
+        let features: Vec<&[f64]> = vec![&[0.0, 0.0], &[10.0, 0.0]];
+        let outputs = [0.9, 0.1];
+        let (value, grad) = IndividualFairness::default().penalty(&outputs, &features);
+        assert_eq!(value, 0.0);
+        assert!(grad.iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let features: Vec<&[f64]> = vec![&[0.0], &[0.5], &[0.9], &[5.0]];
+        let outputs = [0.2, 0.8, 0.5, 0.9];
+        let fairness = IndividualFairness { tau_sq: 0.5, max_pairs: 100 };
+        let (_, grad) = fairness.penalty(&outputs, &features);
+        let eps = 1e-7;
+        for i in 0..outputs.len() {
+            let mut hp = outputs;
+            hp[i] += eps;
+            let mut hm = outputs;
+            hm[i] -= eps;
+            let (fp, _) = fairness.penalty(&hp, &features);
+            let (fm, _) = fairness.penalty(&hm, &features);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-6,
+                "grad[{i}] numeric {numeric} analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pair_cap_is_respected() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![0.0]).collect();
+        let features: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let fairness = IndividualFairness { tau_sq: 1.0, max_pairs: 7 };
+        assert_eq!(fairness.similar_pairs(&features).len(), 7);
+    }
+
+    #[test]
+    fn tau_controls_neighborhood() {
+        let features: Vec<&[f64]> = vec![&[0.0], &[1.0], &[2.0]];
+        let tight = IndividualFairness { tau_sq: 0.5, max_pairs: 100 };
+        let loose = IndividualFairness { tau_sq: 4.5, max_pairs: 100 };
+        assert_eq!(tight.similar_pairs(&features).len(), 0);
+        assert_eq!(loose.similar_pairs(&features).len(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Evaluation metrics (paper Sec. V-A1): accuracy, DDP, EOD, and mutual
+//! information. Lower absolute value is better for all three fairness
+//! metrics; higher is better for accuracy.
+
+/// Per-group confusion counts over hard binary predictions.
+///
+/// Indexing: `counts[s][y][ŷ]` with `s` mapped `{−1 → 0, +1 → 1}` and
+/// `y, ŷ ∈ {0, 1}`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupConfusion {
+    counts: [[[usize; 2]; 2]; 2],
+}
+
+impl GroupConfusion {
+    /// Builds the confusion tensor from aligned prediction / label /
+    /// sensitive slices. Labels and predictions other than `{0, 1}` are
+    /// clamped to 1 (the metrics in the paper are defined for binary tasks).
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn from_slices(preds: &[usize], labels: &[usize], sensitive: &[i8]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "preds/labels length mismatch");
+        assert_eq!(preds.len(), sensitive.len(), "preds/sensitive length mismatch");
+        let mut counts = [[[0usize; 2]; 2]; 2];
+        for ((&p, &y), &s) in preds.iter().zip(labels).zip(sensitive) {
+            let si = usize::from(s > 0);
+            counts[si][y.min(1)][p.min(1)] += 1;
+        }
+        GroupConfusion { counts }
+    }
+
+    /// Number of samples in the sensitive group (`true` → `s=+1`).
+    pub fn group_total(&self, positive_group: bool) -> usize {
+        let s = usize::from(positive_group);
+        self.counts[s].iter().flatten().sum()
+    }
+
+    /// `P(ŷ=1 | s)` — the positive-prediction rate of a group. `None` when
+    /// the group is empty.
+    pub fn positive_rate(&self, positive_group: bool) -> Option<f64> {
+        let s = usize::from(positive_group);
+        let total = self.group_total(positive_group);
+        if total == 0 {
+            return None;
+        }
+        let pos = self.counts[s][0][1] + self.counts[s][1][1];
+        Some(pos as f64 / total as f64)
+    }
+
+    /// `P(ŷ=1 | y, s)` — the group conditional positive rate given the true
+    /// label. `None` when the `(y, s)` cell is empty.
+    pub fn conditional_positive_rate(&self, label: usize, positive_group: bool) -> Option<f64> {
+        let s = usize::from(positive_group);
+        let y = label.min(1);
+        let total = self.counts[s][y][0] + self.counts[s][y][1];
+        if total == 0 {
+            return None;
+        }
+        Some(self.counts[s][y][1] as f64 / total as f64)
+    }
+
+    /// Raw count accessor for `(s, y, ŷ)`.
+    pub fn count(&self, positive_group: bool, label: usize, pred: usize) -> usize {
+        self.counts[usize::from(positive_group)][label.min(1)][pred.min(1)]
+    }
+}
+
+/// Classification accuracy in `[0, 1]`. Returns `0.0` for empty input.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "preds/labels length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let hits = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    hits as f64 / preds.len() as f64
+}
+
+/// Difference of demographic parity over hard predictions:
+/// `|P(ŷ=1 | s=+1) − P(ŷ=1 | s=−1)|`. Returns `0.0` when either group is
+/// empty (no disparity measurable).
+pub fn ddp(preds: &[usize], sensitive: &[i8]) -> f64 {
+    let labels = vec![0usize; preds.len()];
+    let confusion = GroupConfusion::from_slices(preds, &labels, sensitive);
+    match (confusion.positive_rate(true), confusion.positive_rate(false)) {
+        (Some(a), Some(b)) => (a - b).abs(),
+        _ => 0.0,
+    }
+}
+
+/// Equalized-odds difference: the larger of the true-positive-rate gap and
+/// the false-positive-rate gap between sensitive groups,
+/// `max_y |P(ŷ=1 | y, s=+1) − P(ŷ=1 | y, s=−1)|`. Cells with no data
+/// contribute no gap.
+pub fn eod(preds: &[usize], labels: &[usize], sensitive: &[i8]) -> f64 {
+    let confusion = GroupConfusion::from_slices(preds, labels, sensitive);
+    let mut worst = 0.0f64;
+    for y in 0..2 {
+        if let (Some(a), Some(b)) = (
+            confusion.conditional_positive_rate(y, true),
+            confusion.conditional_positive_rate(y, false),
+        ) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    worst
+}
+
+/// Mutual information (nats) between hard predictions and the sensitive
+/// attribute, estimated from empirical joint frequencies. Zero iff the
+/// prediction is (empirically) independent of the group.
+pub fn mutual_information(preds: &[usize], sensitive: &[i8]) -> f64 {
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let n = preds.len() as f64;
+    let mut joint = [[0usize; 2]; 2]; // [s][ŷ]
+    for (&p, &s) in preds.iter().zip(sensitive) {
+        joint[usize::from(s > 0)][p.min(1)] += 1;
+    }
+    let ps: Vec<f64> = (0..2).map(|s| (joint[s][0] + joint[s][1]) as f64 / n).collect();
+    let py: Vec<f64> = (0..2).map(|p| (joint[0][p] + joint[1][p]) as f64 / n).collect();
+    let mut mi = 0.0;
+    for s in 0..2 {
+        for p in 0..2 {
+            let pj = joint[s][p] as f64 / n;
+            if pj > 0.0 && ps[s] > 0.0 && py[p] > 0.0 {
+                mi += pj * (pj / (ps[s] * py[p])).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert!(close(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75));
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ddp_detects_disparity() {
+        // Group +1 always predicted positive, group −1 never.
+        let preds = [1, 1, 0, 0];
+        let sens = [1i8, 1, -1, -1];
+        assert!(close(ddp(&preds, &sens), 1.0));
+    }
+
+    #[test]
+    fn ddp_zero_for_parity() {
+        let preds = [1, 0, 1, 0];
+        let sens = [1i8, 1, -1, -1];
+        assert!(close(ddp(&preds, &sens), 0.0));
+    }
+
+    #[test]
+    fn ddp_empty_group_is_zero() {
+        assert_eq!(ddp(&[1, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn eod_detects_tpr_gap() {
+        // Equal base rates, but TPR differs: group +1 gets all its positives
+        // right, group −1 gets them all wrong.
+        let labels = [1, 0, 1, 0];
+        let preds = [1, 0, 0, 0];
+        let sens = [1i8, 1, -1, -1];
+        assert!(close(eod(&preds, &labels, &sens), 1.0));
+    }
+
+    #[test]
+    fn eod_zero_for_equalized_odds() {
+        let labels = [1, 0, 1, 0];
+        let preds = [1, 1, 1, 1];
+        let sens = [1i8, 1, -1, -1];
+        // Both groups: TPR = 1 and FPR = 1, so the gap is zero (even though
+        // the classifier is useless).
+        assert!(close(eod(&preds, &labels, &sens), 0.0));
+    }
+
+    #[test]
+    fn eod_uses_worst_of_the_two_rates() {
+        // TPR gap 0, FPR gap 1 — EOD must report 1.
+        let labels = [1, 1, 0, 0];
+        let preds = [1, 1, 1, 0];
+        let sens = [1i8, -1, 1, -1];
+        assert!(close(eod(&preds, &labels, &sens), 1.0));
+    }
+
+    #[test]
+    fn mi_zero_for_independent_predictions() {
+        let preds = [1, 0, 1, 0];
+        let sens = [1i8, 1, -1, -1];
+        assert!(close(mutual_information(&preds, &sens), 0.0));
+    }
+
+    #[test]
+    fn mi_maximal_for_perfect_dependence() {
+        // ŷ fully determined by s with balanced groups: MI = ln 2.
+        let preds = [1, 1, 0, 0];
+        let sens = [1i8, 1, -1, -1];
+        assert!(close(mutual_information(&preds, &sens), 2f64.ln()));
+    }
+
+    #[test]
+    fn mi_is_symmetric_under_label_flip() {
+        let preds = [1, 1, 0, 0, 1, 0];
+        let flipped: Vec<usize> = preds.iter().map(|&p| 1 - p).collect();
+        let sens = [1i8, -1, 1, -1, -1, 1];
+        assert!(close(
+            mutual_information(&preds, &sens),
+            mutual_information(&flipped, &sens)
+        ));
+    }
+
+    #[test]
+    fn confusion_counts_and_rates() {
+        let preds = [1, 0, 1, 1];
+        let labels = [1, 1, 0, 1];
+        let sens = [1i8, 1, -1, -1];
+        let c = GroupConfusion::from_slices(&preds, &labels, &sens);
+        assert_eq!(c.group_total(true), 2);
+        assert_eq!(c.group_total(false), 2);
+        assert_eq!(c.count(true, 1, 1), 1);
+        assert_eq!(c.count(true, 1, 0), 1);
+        assert!(close(c.positive_rate(true).unwrap(), 0.5));
+        assert!(close(c.conditional_positive_rate(1, true).unwrap(), 0.5));
+        assert_eq!(c.conditional_positive_rate(0, true), None); // empty cell
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        // Randomized smoke check of bounds.
+        let preds = [0, 1, 1, 0, 1, 0, 1, 1];
+        let labels = [1, 1, 0, 0, 1, 0, 0, 1];
+        let sens = [1i8, -1, 1, -1, 1, -1, 1, -1];
+        assert!((0.0..=1.0).contains(&ddp(&preds, &sens)));
+        assert!((0.0..=1.0).contains(&eod(&preds, &labels, &sens)));
+        let mi = mutual_information(&preds, &sens);
+        assert!((0.0..=2f64.ln() + 1e-12).contains(&mi));
+    }
+}

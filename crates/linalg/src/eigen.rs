@@ -1,0 +1,213 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used by the feature-space diagnostics in `faction-nn`: spectral
+//! normalization exists to prevent *feature collapse* (all inputs mapping to
+//! a low-dimensional manifold), and the cleanest collapse measure is the
+//! eigenvalue spectrum of the feature covariance. Jacobi is exact,
+//! numerically robust for the small symmetric matrices involved (feature
+//! dimensions ≤ 128), and dependency-free.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, one per **column**, ordered to match.
+    pub eigenvectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi
+/// rotations.
+///
+/// `tol` bounds the off-diagonal Frobenius mass at convergence;
+/// `max_sweeps` bounds the number of full sweeps (each sweep rotates every
+/// off-diagonal pair once). Typical matrices converge in < 10 sweeps.
+///
+/// # Errors
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+/// * [`LinalgError::InvalidArgument`] if `a` is not symmetric within `1e-8`.
+pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: u32) -> Result<SymmetricEigen> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch {
+            left: format!("{}x{}", a.rows(), a.cols()),
+            right: "square".into(),
+            op: "symmetric_eigen",
+        });
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::InvalidArgument {
+            what: "symmetric_eigen requires a symmetric matrix".into(),
+        });
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let off_diag_sq = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += 2.0 * m.get(i, j) * m.get(i, j);
+            }
+        }
+        s
+    };
+
+    for _ in 0..max_sweeps {
+        if off_diag_sq(&m) <= tol * tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < f64::EPSILON {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation on both sides: m ← Jᵀ m J.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors: v ← v J.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors.set(row, new_col, v.get(row, old_col));
+        }
+    }
+    Ok(SymmetricEigen { eigenvalues, eigenvectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a, 1e-12, 50).unwrap();
+        assert!(close(e.eigenvalues[0], 3.0, 1e-10));
+        assert!(close(e.eigenvalues[1], 2.0, 1e-10));
+        assert!(close(e.eigenvalues[2], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a, 1e-12, 50).unwrap();
+        assert!(close(e.eigenvalues[0], 3.0, 1e-10));
+        assert!(close(e.eigenvalues[1], 1.0, 1e-10));
+        // Eigenvector of λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.eigenvectors.col(0);
+        assert!(close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8));
+        assert!(close(v0[0], v0[1], 1e-8));
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // Random SPD-ish symmetric matrix.
+        let mut rng = crate::SeedRng::new(5);
+        let n = 6;
+        let g = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let a = {
+            let mut a = g.matmul(&g.transpose()).unwrap();
+            a.add_diagonal(0.5);
+            a
+        };
+        let e = symmetric_eigen(&a, 1e-12, 100).unwrap();
+        // V diag(λ) Vᵀ == a.
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, e.eigenvalues[i]);
+        }
+        let rec = e
+            .eigenvectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.eigenvectors.transpose())
+            .unwrap();
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            assert!(close(*x, *y, 1e-8), "reconstruction mismatch");
+        }
+        // Vᵀ V == I.
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        let id = Matrix::identity(n);
+        for (x, y) in vtv.as_slice().iter().zip(id.as_slice()) {
+            assert!(close(*x, *y, 1e-8), "orthonormality violated");
+        }
+        // Trace preserved.
+        let trace_a: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let sum_l: f64 = e.eigenvalues.iter().sum();
+        assert!(close(trace_a, sum_l, 1e-8));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let mut rng = crate::SeedRng::new(9);
+        let n = 5;
+        let g = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform_range(-2.0, 2.0)).collect())
+            .unwrap();
+        let a = g.matmul(&g.transpose()).unwrap();
+        let e = symmetric_eigen(&a, 1e-10, 100).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+        // Gram matrices are PSD.
+        assert!(e.eigenvalues.iter().all(|&l| l > -1e-8));
+    }
+
+    #[test]
+    fn rejects_non_square_and_asymmetric() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3), 1e-10, 10).is_err());
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&a, 1e-10, 10),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by all fallible linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Carries `(left, right)` shape
+    /// descriptions for the failing operation.
+    ShapeMismatch {
+        /// Human-readable shape of the left operand, e.g. `"3x4"`.
+        left: String,
+        /// Human-readable shape of the right operand.
+        right: String,
+        /// Name of the operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+    },
+    /// A matrix expected to be symmetric positive definite was not, even
+    /// after the configured amount of diagonal jitter.
+    NotPositiveDefinite {
+        /// The pivot index at which factorization broke down.
+        pivot: usize,
+    },
+    /// An operation requiring at least one element received empty input.
+    EmptyInput {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A numeric argument was out of its legal domain (e.g. negative ridge).
+    InvalidArgument {
+        /// Description of the violated requirement.
+        what: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: left {left}, right {right}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::EmptyInput { op } => write!(f, "empty input to {op}"),
+            LinalgError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            left: "2x3".into(),
+            right: "4x5".into(),
+            op: "matmul",
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn not_positive_definite_reports_pivot() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::EmptyInput { op: "mean" });
+    }
+}

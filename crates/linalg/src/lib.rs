@@ -1,0 +1,37 @@
+//! Dense linear-algebra and random-number substrate for the FACTION
+//! reproduction.
+//!
+//! The FACTION system ("Fairness-Aware Active Online Learning with Changing
+//! Environments", ICDE 2025) relies on a small but load-bearing amount of
+//! numerical machinery: matrix products for neural-network layers, Cholesky
+//! factorizations for the Gaussian discriminant density estimator, and
+//! deterministic sampling for the synthetic task streams. This crate provides
+//! all of it from scratch, with no external linear-algebra dependencies, so
+//! that every numerical behavior in the reproduction is auditable.
+//!
+//! The crate is deliberately simple: row-major dense `f64` storage, no
+//! expression templates, no SIMD intrinsics. The dimensionalities in the
+//! paper's pipeline (feature spaces of 16–128 dimensions, batches of a few
+//! hundred samples) make clarity a better trade than peak FLOPs; the
+//! Criterion benches in `faction-bench` confirm the pipeline is dominated by
+//! algorithmic structure, not kernel micro-efficiency.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use rng::SeedRng;
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,421 @@
+//! Row-major dense matrix type.
+//!
+//! [`Matrix`] is the single tensor type used throughout the reproduction:
+//! neural-network weights and activations, covariance matrices, and batch
+//! feature blocks are all `Matrix` values. Row-major storage means a row is a
+//! contiguous `&[f64]`, which is the access pattern of every hot loop
+//! (per-sample features, per-neuron weight rows).
+
+use crate::error::LinalgError;
+use crate::Result;
+
+/// A dense, row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{rows}x{cols}"),
+                right: format!("len {}", data.len()),
+                op: "from_vec",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::EmptyInput`] for zero rows and
+    /// [`LinalgError::ShapeMismatch`] for ragged rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let first = rows.first().ok_or(LinalgError::EmptyInput { op: "from_rows" })?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    left: format!("row 0 len {cols}"),
+                    right: format!("row {i} len {}", r.len()),
+                    op: "from_rows",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of the raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    /// Panics if out of bounds (programming error).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    /// Panics if out of bounds (programming error).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Contiguous view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable contiguous view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order over row-major storage.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("{}x{}", other.rows, other.cols),
+                op: "matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("len {}", x.len()),
+                op: "matvec",
+            });
+        }
+        Ok(self.iter_rows().map(|row| crate::vector::dot(row, x)).collect())
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.rows()`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("len {}", x.len()),
+                op: "tr_matvec",
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            crate::vector::axpy(xr, self.row(r), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<()> {
+        self.zip_assign(other, "add_assign", |a, b| a + b)
+    }
+
+    /// In-place element-wise subtraction.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn sub_assign(&mut self, other: &Matrix) -> Result<()> {
+        self.zip_assign(other, "sub_assign", |a, b| a - b)
+    }
+
+    /// In-place `self += alpha * other` (matrix axpy).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on shape disagreement.
+    pub fn axpy_assign(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        self.zip_assign(other, "axpy_assign", |a, b| a + alpha * b)
+    }
+
+    fn zip_assign(
+        &mut self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("{}x{}", other.rows, other.cols),
+                op,
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale(&mut self, alpha: f64) {
+        crate::vector::scale(&mut self.data, alpha);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::vector::norm2(&self.data)
+    }
+
+    /// Outer product `x yᵀ` as a new matrix.
+    pub fn outer(x: &[f64], y: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(x.len(), y.len());
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &yj) in y.iter().enumerate() {
+                m.set(i, j, xi * yj);
+            }
+        }
+        m
+    }
+
+    /// Adds `value` to every diagonal element (ridge / jitter).
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let v = self.get(i, i);
+            self.set(i, i, v + value);
+        }
+    }
+
+    /// True when the matrix is square and symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_and_transpose_consistent() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let x = vec![1.0, -1.0];
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+        // A^T y computed two ways.
+        let t = a.transpose();
+        assert_eq!(a.tr_matvec(&y).unwrap(), t.matvec(&y).unwrap());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn outer_product() {
+        let m = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn add_sub_axpy_assign() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a, Matrix::filled(2, 2, 3.0));
+        a.sub_assign(&b).unwrap();
+        assert_eq!(a, Matrix::filled(2, 2, 1.0));
+        a.axpy_assign(0.5, &b).unwrap();
+        assert_eq!(a, Matrix::filled(2, 2, 2.0));
+        let c = Matrix::zeros(1, 2);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(3.0);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut a = Matrix::identity(3);
+        assert!(a.is_symmetric(0.0));
+        a.set(0, 1, 1e-3);
+        assert!(!a.is_symmetric(1e-6));
+        assert!(a.is_symmetric(1e-2));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_extracts_column() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! These back both the neural-network kernels in `faction-nn` and the
+//! statistics helpers in [`crate::stats`]. All functions are panic-free for
+//! equal-length inputs; length mismatches panic with a clear message because
+//! they are programming errors, not data errors (matching the convention of
+//! `std` slice ops).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`, the classic BLAS axpy.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist2: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Element-wise in-place scaling: `a *= alpha`.
+#[inline]
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for v in a {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise sum of two slices into a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` into a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Index of the maximum element; ties resolve to the lowest index.
+///
+/// Returns `None` for an empty slice or if every element is NaN.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element; ties resolve to the lowest index.
+///
+/// Returns `None` for an empty slice or if every element is NaN.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(a: &[f64]) -> Option<f64> {
+    if a.is_empty() {
+        None
+    } else {
+        Some(a.iter().sum::<f64>() / a.len() as f64)
+    }
+}
+
+/// Sample variance with Bessel's correction (divides by `n - 1`).
+///
+/// Returns `None` if fewer than two elements are supplied.
+pub fn variance(a: &[f64]) -> Option<f64> {
+    if a.len() < 2 {
+        return None;
+    }
+    let m = mean(a)?;
+    Some(a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (a.len() - 1) as f64)
+}
+
+/// Numerically stable log-sum-exp: `log(sum_i exp(a_i))`.
+///
+/// Returns negative infinity for an empty slice (the sum of zero terms).
+pub fn logsumexp(a: &[f64]) -> f64 {
+    let m = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + a.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+/// Min–max normalization of `a` onto `[0, 1]`.
+///
+/// This is the `Normalize` of the paper's Eq. (7): scores within a batch are
+/// mapped to `[0, 1]` using the batch min and max. If the batch is constant
+/// (max == min) every element maps to `0.0`, which makes every selection
+/// probability `ω(x) = 1 - 0 = 1`: with no information to discriminate on,
+/// every sample is an equally good query candidate.
+pub fn min_max_normalize(a: &[f64]) -> Vec<f64> {
+    let lo = a.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = hi - lo;
+    if !range.is_finite() || range <= 0.0 {
+        return vec![0.0; a.len()];
+    }
+    a.iter().map(|v| (v - lo) / range).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert!(close(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0));
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norm2_pythagoras() {
+        assert!(close(norm2(&[3.0, 4.0]), 5.0));
+    }
+
+    #[test]
+    fn dist2_is_squared_distance() {
+        assert!(close(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, 2.0];
+        let b = [0.5, -2.0];
+        assert_eq!(sub(&add(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    fn argmax_ties_to_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 2.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmin_basic() {
+        assert_eq!(argmin(&[2.0, -1.0, 0.0]), Some(1));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn mean_variance_known() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(close(mean(&a).unwrap(), 5.0));
+        // Bessel-corrected variance of this classic example is 32/7.
+        assert!(close(variance(&a).unwrap(), 32.0 / 7.0));
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn logsumexp_matches_naive_for_small_values() {
+        let a = [0.1, 0.2, 0.3];
+        let naive = a.iter().map(|v: &f64| v.exp()).sum::<f64>().ln();
+        assert!(close(logsumexp(&a), naive));
+    }
+
+    #[test]
+    fn logsumexp_stable_for_large_values() {
+        let a = [1000.0, 1000.0];
+        assert!(close(logsumexp(&a), 1000.0 + 2f64.ln()));
+    }
+
+    #[test]
+    fn logsumexp_empty_is_neg_inf() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn min_max_normalize_range() {
+        let n = min_max_normalize(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn min_max_normalize_constant_batch() {
+        assert_eq!(min_max_normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_normalize_empty() {
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use faction_linalg::rng::block_rotation;
+use faction_linalg::{vector, Cholesky, Matrix, SeedRng};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0..100.0f64, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(8), b in finite_vec(8)) {
+        let ab = vector::dot(&a, &b);
+        let ba = vector::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in finite_vec(6), b in finite_vec(6), alpha in -10.0..10.0f64) {
+        let scaled: Vec<f64> = a.iter().map(|x| alpha * x).collect();
+        let lhs = vector::dot(&scaled, &b);
+        let rhs = alpha * vector::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn norm_triangle_inequality(a in finite_vec(8), b in finite_vec(8)) {
+        let sum = vector::add(&a, &b);
+        prop_assert!(vector::norm2(&sum) <= vector::norm2(&a) + vector::norm2(&b) + 1e-9);
+    }
+
+    #[test]
+    fn min_max_normalize_bounds(a in proptest::collection::vec(-1e6..1e6f64, 1..64)) {
+        let n = vector::min_max_normalize(&a);
+        prop_assert_eq!(n.len(), a.len());
+        for v in &n {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn min_max_normalize_preserves_order(a in proptest::collection::vec(-1e3..1e3f64, 2..32)) {
+        let n = vector::min_max_normalize(&a);
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                if a[i] < a[j] {
+                    prop_assert!(n[i] <= n[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logsumexp_ge_max(a in proptest::collection::vec(-50.0..50.0f64, 1..32)) {
+        let m = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lse = vector::logsumexp(&a);
+        prop_assert!(lse >= m - 1e-12);
+        prop_assert!(lse <= m + (a.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn matmul_associative(seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let rand_mat = |rng: &mut SeedRng, r: usize, c: usize| {
+            let data = (0..r * c).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+            Matrix::from_vec(r, c, data).unwrap()
+        };
+        let a = rand_mat(&mut rng, 3, 4);
+        let b = rand_mat(&mut rng, 4, 5);
+        let c = rand_mat(&mut rng, 5, 2);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product(seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let rand_mat = |rng: &mut SeedRng, r: usize, c: usize| {
+            let data = (0..r * c).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+            Matrix::from_vec(r, c, data).unwrap()
+        };
+        let a = rand_mat(&mut rng, 3, 4);
+        let b = rand_mat(&mut rng, 4, 2);
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(seed in 0u64..500) {
+        // Build an SPD matrix A = G Gᵀ + I and verify A * solve(A, b) == b.
+        let mut rng = SeedRng::new(seed);
+        let d = 4;
+        let g_data: Vec<f64> = (0..d * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let g = Matrix::from_vec(d, d, g_data).unwrap();
+        let mut a = g.matmul(&g.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let chol = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..d).map(|_| rng.uniform_range(-5.0, 5.0)).collect();
+        let x = chol.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+        // Quadratic form must be non-negative for SPD A.
+        prop_assert!(chol.quadratic_form(&b).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn rotation_is_orthogonal(angle in -3.14..3.14f64, seed in 0u64..100) {
+        let mut rng = SeedRng::new(seed);
+        let d = 6;
+        let r = block_rotation(d, angle);
+        let v: Vec<f64> = (0..d).map(|_| rng.uniform_range(-3.0, 3.0)).collect();
+        let rv = r.matvec(&v).unwrap();
+        prop_assert!((vector::norm2(&v) - vector::norm2(&rv)).abs() < 1e-9);
+        // Rᵀ R = I.
+        let rtr = r.transpose().matmul(&r).unwrap();
+        let id = Matrix::identity(d);
+        for (x, y) in rtr.as_slice().iter().zip(id.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn covariance_psd(seed in 0u64..300, n in 2usize..20) {
+        let mut rng = SeedRng::new(seed);
+        let d = 3;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.uniform_range(-4.0, 4.0)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cov = faction_linalg::stats::covariance(&refs, 1e-8).unwrap();
+        prop_assert!(cov.is_symmetric(1e-10));
+        // PSD check via jittered Cholesky (must succeed with tiny jitter).
+        prop_assert!(Cholesky::factor_with_jitter(&cov, 1e-10, 10).is_ok());
+    }
+
+    #[test]
+    fn bernoulli_extremes(seed in 0u64..100) {
+        let mut rng = SeedRng::new(seed);
+        prop_assert!(rng.bernoulli(1.0));
+        prop_assert!(!rng.bernoulli(0.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Fully-connected layer with cached gradients.
+
+use faction_linalg::{Matrix, SeedRng};
+
+use crate::init;
+
+/// A dense (fully-connected) layer computing `Y = X W + b` for a batch `X`
+/// of shape `(n, fan_in)`, producing `(n, fan_out)`.
+///
+/// The layer owns its gradient buffers; [`Dense::backward`] fills them and
+/// the optimizer consumes them via [`Dense::params_and_grads_mut`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Dense {
+    /// Weight matrix, shape `(fan_in, fan_out)`.
+    pub(crate) w: Matrix,
+    /// Bias vector, length `fan_out`.
+    pub(crate) b: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    /// Warm-started left singular vector estimate for power iteration.
+    pub(crate) power_u: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with He-normal weights (hidden layers) or Xavier
+    /// weights (`relu_follows == false`, i.e. the output layer).
+    pub fn new(rng: &mut SeedRng, fan_in: usize, fan_out: usize, relu_follows: bool) -> Self {
+        let w = if relu_follows {
+            init::he_normal(rng, fan_in, fan_out)
+        } else {
+            init::xavier_uniform(rng, fan_in, fan_out)
+        };
+        let power_u = {
+            let mut u = rng.standard_normal_vec(fan_in);
+            let n = faction_linalg::vector::norm2(&u).max(f64::MIN_POSITIVE);
+            faction_linalg::vector::scale(&mut u, 1.0 / n);
+            u
+        };
+        Dense {
+            grad_w: Matrix::zeros(fan_in, fan_out),
+            grad_b: vec![0.0; fan_out],
+            b: vec![0.0; fan_out],
+            w,
+            power_u,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn fan_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn fan_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Borrow the weight matrix (read-only; mutation goes through the
+    /// optimizer or spectral normalization).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Borrow the bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Forward pass: `X W + b`.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != fan_in` (programming error in model wiring).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.w).expect("dense forward shape");
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, &bi) in row.iter_mut().zip(&self.b) {
+                *v += bi;
+            }
+        }
+        out
+    }
+
+    /// Backward pass. `x` is the input that produced the forward pass,
+    /// `delta` is `dL/dY` (shape `(n, fan_out)`). Accumulates `dL/dW` and
+    /// `dL/db` into the layer's gradient buffers (overwriting them) and
+    /// returns `dL/dX`.
+    pub fn backward(&mut self, x: &Matrix, delta: &Matrix) -> Matrix {
+        debug_assert_eq!(x.rows(), delta.rows(), "batch size mismatch");
+        self.grad_w = x.transpose().matmul(delta).expect("dense backward shape");
+        for c in 0..delta.cols() {
+            self.grad_b[c] = (0..delta.rows()).map(|r| delta.get(r, c)).sum();
+        }
+        delta.matmul(&self.w.transpose()).expect("dense backward dX shape")
+    }
+
+    /// Yields `(params, grads)` slice pairs for the optimizer, weights first
+    /// then biases.
+    pub fn params_and_grads_mut(&mut self) -> [(&mut [f64], &[f64]); 2] {
+        [
+            (self.w.as_mut_slice(), self.grad_w.as_slice()),
+            (self.b.as_mut_slice(), self.grad_b.as_slice()),
+        ]
+    }
+
+    /// L2 norm of the current gradient (diagnostics; also used by tests to
+    /// verify gradient flow).
+    pub fn grad_norm(&self) -> f64 {
+        let gw = faction_linalg::vector::norm2(self.grad_w.as_slice());
+        let gb = faction_linalg::vector::norm2(&self.grad_b);
+        (gw * gw + gb * gb).sqrt()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_affine_map() {
+        let mut rng = SeedRng::new(3);
+        let mut layer = Dense::new(&mut rng, 2, 2, false);
+        // Overwrite with a known affine map.
+        layer.w = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        layer.b = vec![10.0, 20.0];
+        let x = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        let y = layer.forward(&x);
+        assert_eq!(y.row(0), &[13.0, 28.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias_grad() {
+        let mut rng = SeedRng::new(4);
+        let mut layer = Dense::new(&mut rng, 3, 2, true);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let delta = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let dx = layer.backward(&x, &delta);
+        assert_eq!(dx.shape(), (2, 3));
+        // Bias gradient is the column sum of delta.
+        let [(_, _), (_, gb)] = layer.params_and_grads_mut();
+        assert_eq!(gb, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn numeric_gradient_check_weights() {
+        // Finite-difference check of dL/dW for L = sum(Y).
+        let mut rng = SeedRng::new(5);
+        let mut layer = Dense::new(&mut rng, 3, 2, true);
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.25, -0.75]]).unwrap();
+        let ones = Matrix::filled(2, 2, 1.0); // dL/dY for L = sum(Y)
+        layer.backward(&x, &ones);
+        let analytic = layer.grad_w.clone();
+        let eps = 1e-6;
+        for i in 0..3 {
+            for j in 0..2 {
+                let orig = layer.w.get(i, j);
+                layer.w.set(i, j, orig + eps);
+                let lp: f64 = layer.forward(&x).as_slice().iter().sum();
+                layer.w.set(i, j, orig - eps);
+                let lm: f64 = layer.forward(&x).as_slice().iter().sum();
+                layer.w.set(i, j, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.get(i, j)).abs() < 1e-6,
+                    "dW[{i}][{j}]: numeric {numeric} vs analytic {}",
+                    analytic.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = SeedRng::new(6);
+        let layer = Dense::new(&mut rng, 10, 4, true);
+        assert_eq!(layer.param_count(), 44);
+    }
+}

@@ -1,0 +1,112 @@
+//! Feature-space health diagnostics.
+//!
+//! Spectral normalization's purpose in FACTION/DDU is to keep the feature
+//! space *smooth and sensitive* — preventing **feature collapse**, where the
+//! extractor maps diverse inputs onto a low-dimensional manifold and
+//! feature-space density stops being a meaningful epistemic-uncertainty
+//! signal (paper Sec. IV-B, [19], [46]). These diagnostics quantify that
+//! property so tests and benches can assert it instead of assuming it.
+
+use faction_linalg::{eigen, stats, Matrix};
+
+/// Spectrum-based summary of a feature batch.
+#[derive(Debug, Clone)]
+pub struct FeatureSpectrum {
+    /// Covariance eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Effective rank `exp(H(λ/Σλ))` — the entropy-based participation
+    /// number. Ranges from 1 (total collapse onto one direction) to `d`
+    /// (isotropic spread).
+    pub effective_rank: f64,
+    /// Fraction of total variance captured by the top eigenvalue.
+    pub top_eigenvalue_share: f64,
+}
+
+/// Computes the covariance spectrum of a feature batch (rows = samples).
+///
+/// # Errors
+/// Propagates covariance / eigendecomposition failures (empty batch).
+pub fn feature_spectrum(features: &Matrix) -> faction_linalg::Result<FeatureSpectrum> {
+    let rows: Vec<&[f64]> = features.iter_rows().collect();
+    let cov = stats::covariance(&rows, 0.0)?;
+    let eig = eigen::symmetric_eigen(&cov, 1e-10, 100)?;
+    let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+    let total: f64 = eigenvalues.iter().sum();
+    let (effective_rank, top_share) = if total <= 0.0 {
+        (1.0, 1.0)
+    } else {
+        let entropy: f64 = eigenvalues
+            .iter()
+            .filter(|&&l| l > 0.0)
+            .map(|&l| {
+                let p = l / total;
+                -p * p.ln()
+            })
+            .sum();
+        (entropy.exp(), eigenvalues[0] / total)
+    };
+    Ok(FeatureSpectrum { eigenvalues, effective_rank, top_eigenvalue_share: top_share })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::{Mlp, MlpConfig};
+    use faction_linalg::SeedRng;
+
+    #[test]
+    fn isotropic_batch_has_full_effective_rank() {
+        let mut rng = SeedRng::new(1);
+        let d = 4;
+        let rows: Vec<Vec<f64>> = (0..500).map(|_| rng.standard_normal_vec(d)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let spec = feature_spectrum(&x).unwrap();
+        assert!(spec.effective_rank > 3.7, "effective rank {}", spec.effective_rank);
+        assert!(spec.top_eigenvalue_share < 0.35);
+    }
+
+    #[test]
+    fn collapsed_batch_has_rank_near_one() {
+        // All points on a single line.
+        let mut rng = SeedRng::new(2);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| {
+                let t = rng.standard_normal();
+                vec![t, 2.0 * t, -t, 0.5 * t]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let spec = feature_spectrum(&x).unwrap();
+        assert!(spec.effective_rank < 1.1, "effective rank {}", spec.effective_rank);
+        assert!(spec.top_eigenvalue_share > 0.99);
+    }
+
+    #[test]
+    fn spectrally_normalized_features_do_not_collapse() {
+        // The headline property: a spectrally normalized extractor keeps a
+        // multi-directional feature spectrum on diverse inputs.
+        let mut rng = SeedRng::new(3);
+        let mlp = Mlp::new(&MlpConfig::new(vec![8, 32, 16, 2], 7));
+        let rows: Vec<Vec<f64>> = (0..400).map(|_| rng.standard_normal_vec(8)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let z = mlp.features(&x);
+        let spec = feature_spectrum(&z).unwrap();
+        assert!(
+            spec.effective_rank > 3.0,
+            "feature space collapsed: effective rank {}",
+            spec.effective_rank
+        );
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_and_nonnegative() {
+        let mut rng = SeedRng::new(4);
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| rng.standard_normal_vec(5)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let spec = feature_spectrum(&x).unwrap();
+        for w in spec.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(spec.eigenvalues.iter().all(|&l| l >= 0.0));
+    }
+}

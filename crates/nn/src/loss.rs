@@ -1,0 +1,243 @@
+//! Softmax, cross-entropy, and the pluggable batch-loss interface.
+//!
+//! FACTION trains with the total loss of paper Eq. (9):
+//! `L_total = L_CE + μ (L_fair − ε)`. The cross-entropy part lives here; the
+//! fairness part needs the fairness notion from `faction-fairness`, so the
+//! training loop accepts any [`BatchLoss`] implementation and `faction-core`
+//! supplies the regularized one. Both parts differentiate with respect to the
+//! network logits, which is the only interface the backprop plumbing needs.
+
+use faction_linalg::Matrix;
+
+/// Per-batch metadata available to a loss function.
+///
+/// `labels` are class indices; `sensitive` holds the paper's `s ∈ {−1, +1}`
+/// group encoding. Loss implementations that do not use the sensitive
+/// attribute (plain cross-entropy) simply ignore it.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchMeta<'a> {
+    /// Ground-truth class index per row of the logits matrix.
+    pub labels: &'a [usize],
+    /// Sensitive attribute per row, encoded `−1` / `+1`.
+    pub sensitive: &'a [i8],
+}
+
+/// A differentiable loss over a batch of logits.
+pub trait BatchLoss {
+    /// Returns `(mean loss, dL/dlogits)` for the batch.
+    fn loss_and_grad(&self, logits: &Matrix, meta: &BatchMeta<'_>) -> (f64, Matrix);
+}
+
+/// Row-wise numerically stable softmax.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax (stable).
+pub fn log_softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let lse = faction_linalg::vector::logsumexp(row);
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+    out
+}
+
+/// Shannon entropy (nats) of each softmax row — the classic uncertainty
+/// measure used by the Entropy-AL baseline (paper Sec. V-A2).
+pub fn entropy_per_row(probs: &Matrix) -> Vec<f64> {
+    probs
+        .iter_rows()
+        .map(|row| {
+            -row.iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| p * p.ln())
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Margin (difference of top-two probabilities) per row; small margin means
+/// high ambiguity. Used by margin-based baselines.
+pub fn margin_per_row(probs: &Matrix) -> Vec<f64> {
+    probs
+        .iter_rows()
+        .map(|row| {
+            let mut top = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            for &p in row {
+                if p > top {
+                    second = top;
+                    top = p;
+                } else if p > second {
+                    second = p;
+                }
+            }
+            if second == f64::NEG_INFINITY {
+                top
+            } else {
+                top - second
+            }
+        })
+        .collect()
+}
+
+/// Plain mean cross-entropy over the batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Mean cross-entropy of `logits` against `labels` without computing the
+    /// gradient (evaluation helper).
+    pub fn loss(&self, logits: &Matrix, labels: &[usize]) -> f64 {
+        assert_eq!(logits.rows(), labels.len(), "cross-entropy batch mismatch");
+        let logp = log_softmax(logits);
+        let n = labels.len().max(1) as f64;
+        -labels
+            .iter()
+            .enumerate()
+            .map(|(r, &y)| logp.get(r, y))
+            .sum::<f64>()
+            / n
+    }
+}
+
+impl BatchLoss for CrossEntropyLoss {
+    fn loss_and_grad(&self, logits: &Matrix, meta: &BatchMeta<'_>) -> (f64, Matrix) {
+        assert_eq!(logits.rows(), meta.labels.len(), "cross-entropy batch mismatch");
+        let n = logits.rows().max(1) as f64;
+        let probs = softmax(logits);
+        let logp = log_softmax(logits);
+        let mut loss = 0.0;
+        let mut grad = probs;
+        for (r, &y) in meta.labels.iter().enumerate() {
+            loss -= logp.get(r, y);
+            let v = grad.get(r, y);
+            grad.set(r, y, v - 1.0);
+        }
+        grad.scale(1.0 / n);
+        (loss / n, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]).unwrap();
+        let p = softmax(&logits);
+        for r in 0..2 {
+            assert!(close(p.row(r).iter().sum::<f64>(), 1.0));
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let logits = Matrix::from_rows(&[vec![1e4, 1e4 + 1.0]]).unwrap();
+        let p = softmax(&logits);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        assert!(close(p.row(0).iter().sum::<f64>(), 1.0));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let logits = Matrix::from_rows(&[vec![0.3, -1.2, 2.0]]).unwrap();
+        let lp = log_softmax(&logits);
+        let p = softmax(&logits);
+        for c in 0..3 {
+            assert!(close(lp.get(0, c), p.get(0, c).ln()));
+        }
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_k() {
+        let p = Matrix::from_rows(&[vec![0.5, 0.5], vec![1.0, 0.0]]).unwrap();
+        let h = entropy_per_row(&p);
+        assert!(close(h[0], 2f64.ln()));
+        assert!(close(h[1], 0.0));
+    }
+
+    #[test]
+    fn margin_distinguishes_confidence() {
+        let p = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.55, 0.45]]).unwrap();
+        let m = margin_per_row(&p);
+        assert!(close(m[0], 0.8));
+        assert!(close(m[1], 0.1 + 1e-17) || (m[1] - 0.1).abs() < 1e-9);
+        assert!(m[0] > m[1]);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[vec![20.0, -20.0]]).unwrap();
+        let (loss, _) = CrossEntropyLoss.loss_and_grad(
+            &logits,
+            &BatchMeta { labels: &[0], sensitive: &[1] },
+        );
+        assert!(loss < 1e-8, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let (loss, _) =
+            CrossEntropyLoss.loss_and_grad(&logits, &BatchMeta { labels: &[1], sensitive: &[1] });
+        assert!(close(loss, 2f64.ln()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[vec![0.5, -0.25, 1.0], vec![-1.0, 0.0, 0.75]]).unwrap();
+        let labels = [2usize, 0usize];
+        let meta = BatchMeta { labels: &labels, sensitive: &[1, -1] };
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &meta);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, lp.get(r, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(r, c, lm.get(r, c) - eps);
+                let fp = CrossEntropyLoss.loss(&lp, &labels);
+                let fm = CrossEntropyLoss.loss(&lm, &labels);
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(r, c)).abs() < 1e-6,
+                    "grad[{r}][{c}] numeric {numeric} vs {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // d/dlogits of CE always sums to zero across classes per row.
+        let logits = Matrix::from_rows(&[vec![0.1, 0.9, -0.4]]).unwrap();
+        let (_, grad) =
+            CrossEntropyLoss.loss_and_grad(&logits, &BatchMeta { labels: &[1], sensitive: &[1] });
+        assert!(close(grad.row(0).iter().sum::<f64>(), 0.0));
+    }
+}

@@ -1,0 +1,240 @@
+//! First-order optimizers.
+//!
+//! The paper keeps the learning rate `γ_t` constant in its experiments
+//! (Sec. IV-F); the theory (Theorem 1, part 3) uses a decaying schedule,
+//! which [`Sgd::set_learning_rate`] supports for the `theory_bounds` harness.
+//!
+//! Optimizers are stateful per parameter tensor. The model registers each
+//! tensor under a stable `slot` index; state buffers are allocated lazily on
+//! first use so the same optimizer value works for any architecture.
+
+/// A stateful first-order optimizer.
+pub trait Optimizer {
+    /// Applies one update to `params` given `grads`, using per-tensor state
+    /// stored under `slot`.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != grads.len()`.
+    fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]);
+
+    /// Clears all accumulated state (momentum buffers, Adam moments).
+    fn reset(&mut self);
+
+    /// Current base learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the base learning rate (supports decaying schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with classical momentum and optional decoupled
+/// weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds a momentum coefficient (0.9 is the usual choice).
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    fn state(&mut self, slot: usize, len: usize) -> &mut Vec<f64> {
+        if self.velocity.len() <= slot {
+            self.velocity.resize_with(slot + 1, Vec::new);
+        }
+        let v = &mut self.velocity[slot];
+        if v.len() != len {
+            *v = vec![0.0; len];
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "sgd: param/grad length mismatch");
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = self.state(slot, params.len());
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(velocity.iter_mut()) {
+            *v = momentum * *v + g;
+            *p -= lr * (*v + wd * *p);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+    t: Vec<u64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: Vec::new() }
+    }
+
+    fn ensure(&mut self, slot: usize, len: usize) {
+        if self.m.len() <= slot {
+            self.m.resize_with(slot + 1, Vec::new);
+            self.v.resize_with(slot + 1, Vec::new);
+            self.t.resize(slot + 1, 0);
+        }
+        if self.m[slot].len() != len {
+            self.m[slot] = vec![0.0; len];
+            self.v[slot] = vec![0.0; len];
+            self.t[slot] = 0;
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "adam: param/grad length mismatch");
+        self.ensure(slot, params.len());
+        self.t[slot] += 1;
+        let t = self.t[slot] as f64;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
+        for i in 0..params.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * grads[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * grads[i] * grads[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t.clear();
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One quadratic-descent step must reduce f(x) = x² for both optimizers.
+    fn descend(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = [5.0f64];
+        for _ in 0..steps {
+            let g = [2.0 * x[0]];
+            opt.step(0, &mut x, &g);
+        }
+        x[0].abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(descend(&mut opt, 100) < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        assert!(descend(&mut opt, 300) < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        assert!(descend(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut x = [10.0f64];
+        opt.step(0, &mut x, &[0.0]);
+        assert!(x[0] < 10.0);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut a = [1.0f64];
+        let mut b = [1.0f64];
+        opt.step(0, &mut a, &[1.0]);
+        opt.step(0, &mut a, &[1.0]);
+        // Slot 1 must not have inherited slot 0's momentum.
+        opt.step(1, &mut b, &[1.0]);
+        assert!((b[0] - 0.9).abs() < 1e-12, "b {}", b[0]);
+        assert!(a[0] < b[0]);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut x = [1.0f64];
+        opt.step(0, &mut x, &[1.0]);
+        opt.reset();
+        let mut y = [1.0f64];
+        opt.step(0, &mut y, &[1.0]);
+        assert!((y[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = [1.0f64, 2.0];
+        opt.step(0, &mut x, &[1.0]);
+    }
+}

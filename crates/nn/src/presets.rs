@@ -1,0 +1,78 @@
+//! Architecture presets mirroring the paper's model choices (Sec. V-A3 and
+//! Fig. 6), scaled to CPU-budget feature dimensions per the substitution
+//! notes in `DESIGN.md`.
+
+use crate::mlp::MlpConfig;
+use crate::spectral::SpectralConfig;
+
+/// The "standard" extractor used for the main experiments: a spectrally
+/// normalized two-hidden-layer MLP. The paper uses ResNet-18 (images) /
+/// hidden-512 MLP (tabular); the reproduction scales the hidden width down
+/// to keep GDA covariance factorizations cheap on CPU while preserving the
+/// architecture-relative comparisons.
+pub fn standard(input_dim: usize, num_classes: usize, seed: u64) -> MlpConfig {
+    MlpConfig {
+        layer_sizes: vec![input_dim, 64, 32, num_classes],
+        spectral: Some(SpectralConfig::default()),
+        seed,
+    }
+}
+
+/// The Fig. 6 "wide" variant standing in for Wide-ResNet-50: doubles depth
+/// and widens every hidden layer.
+pub fn wide(input_dim: usize, num_classes: usize, seed: u64) -> MlpConfig {
+    MlpConfig {
+        layer_sizes: vec![input_dim, 128, 128, 64, num_classes],
+        spectral: Some(SpectralConfig::default()),
+        seed,
+    }
+}
+
+/// A small configuration for unit tests and quick examples.
+pub fn tiny(input_dim: usize, num_classes: usize, seed: u64) -> MlpConfig {
+    MlpConfig {
+        layer_sizes: vec![input_dim, 16, num_classes],
+        spectral: Some(SpectralConfig::default()),
+        seed,
+    }
+}
+
+/// A linear (logistic-regression) model satisfying the convexity assumption
+/// of the paper's Theorem 1; used by the theory-validation harness.
+pub fn linear(input_dim: usize, num_classes: usize, seed: u64) -> MlpConfig {
+    MlpConfig { layer_sizes: vec![input_dim, num_classes], spectral: None, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Mlp;
+
+    #[test]
+    fn presets_build_consistent_models() {
+        for (cfg, feat) in [
+            (standard(10, 2, 0), 32),
+            (wide(10, 2, 0), 64),
+            (tiny(10, 2, 0), 16),
+            (linear(10, 2, 0), 10),
+        ] {
+            let m = Mlp::new(&cfg);
+            assert_eq!(m.input_dim(), 10);
+            assert_eq!(m.num_classes(), 2);
+            assert_eq!(m.feature_dim(), feat);
+        }
+    }
+
+    #[test]
+    fn wide_has_more_parameters_than_standard() {
+        let s = Mlp::new(&standard(32, 2, 0));
+        let w = Mlp::new(&wide(32, 2, 0));
+        assert!(w.param_count() > 2 * s.param_count());
+    }
+
+    #[test]
+    fn linear_preset_has_no_spectral_norm() {
+        assert!(linear(4, 2, 0).spectral.is_none());
+        assert!(standard(4, 2, 0).spectral.is_some());
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+set -x
+cd "$(dirname "$0")"
+B=./target/release
+$B/theory_bounds --seeds 3 && echo DONE:theory2
+$B/fig5_runtime fair --seeds 2 --dataset NYSF && echo DONE:fig5a2
+$B/fig5_runtime ablation --seeds 2 --dataset NYSF && echo DONE:fig5b2
+$B/fig3_tradeoff --dataset NYSF --seeds 2 && echo DONE:fig3b
+echo RERUN_COMPLETE

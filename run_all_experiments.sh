@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every table and figure of the FACTION paper.
+# Published results in results/ were produced with the seed counts below
+# (reduced from the paper's 5 for single-core wall-clock); every harness
+# accepts --seeds 5 to run the full protocol.
+set -x
+cd "$(dirname "$0")"
+B=./target/release
+$B/table1_nysf --seeds 5                       && echo DONE:table1
+$B/fig2_curves --seeds 2                       && echo DONE:fig2
+$B/fig4_ablation --seeds 2                     && echo DONE:fig4
+$B/fig5_runtime fair --seeds 2                 && echo DONE:fig5a
+$B/fig5_runtime ablation --seeds 2             && echo DONE:fig5b
+$B/fig6_wide --seeds 2                         && echo DONE:fig6
+$B/theory_bounds --seeds 3                     && echo DONE:theory
+$B/fig3_tradeoff --dataset NYSF --seeds 2      && echo DONE:fig3
+echo ALL_EXPERIMENTS_COMPLETE

@@ -1,0 +1,217 @@
+//! `faction_cli` — run FACTION experiments from the command line.
+//!
+//! ```text
+//! cargo run --release --bin faction_cli -- list
+//! cargo run --release --bin faction_cli -- run --dataset NYSF --strategy faction --seeds 3 --quick
+//! cargo run --release --bin faction_cli -- drift --dataset RCMNIST --quick
+//! ```
+
+use std::collections::HashMap;
+
+use faction::core::drift::DriftDetector;
+use faction::core::report::{render_summary_table, AggregatedRun};
+use faction::core::strategies::decoupled::Decoupled;
+use faction::core::strategies::entropy::EntropyAl;
+use faction::core::strategies::fal::{Fal, FalParams};
+use faction::core::strategies::falcur::FalCur;
+use faction::core::strategies::qufur::QuFur;
+use faction::core::strategies::random::Random;
+use faction::core::strategies::Ddu;
+use faction::prelude::*;
+
+const USAGE: &str = "\
+faction_cli — fairness-aware active online learning experiments
+
+USAGE:
+  faction_cli list
+  faction_cli run   --dataset NAME [--strategy NAME] [--seeds N] [--budget B]
+                    [--mu F] [--lambda F] [--quick]
+  faction_cli drift --dataset NAME [--quick]
+  faction_cli stats --dataset NAME [--quick]
+
+STRATEGIES: faction, faction-no-select, faction-no-reg, faction-uncertainty,
+            fal, fal-cur, decoupled, qufur, ddu, entropy, random
+DATASETS:   RCMNIST, CelebA, FairFace, FFHQ, NYSF
+";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".into()
+            };
+            flags.insert(key.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn strategy_by_name(
+    name: &str,
+    loss: TotalLossConfig,
+    lambda: f64,
+    quick: bool,
+) -> Option<Box<dyn Strategy>> {
+    let params = FactionParams { loss, lambda, ..Default::default() };
+    let fal_params = if quick {
+        FalParams { l: 16, retrain_subsample: 48, probe_subsample: 48, ..Default::default() }
+    } else {
+        FalParams::default()
+    };
+    Some(match name.to_ascii_lowercase().as_str() {
+        "faction" => Box::new(Faction::new(params)),
+        "faction-no-select" => Box::new(Faction::without_fair_select(params)),
+        "faction-no-reg" => Box::new(Faction::without_fair_reg(params)),
+        "faction-uncertainty" => Box::new(Faction::uncertainty_only(params)),
+        "fal" => Box::new(Fal::new(fal_params)),
+        "fal-cur" | "falcur" => Box::new(FalCur::default()),
+        "decoupled" => Box::new(Decoupled::default()),
+        "qufur" => Box::new(QuFur::default()),
+        "ddu" => Box::new(Ddu::default()),
+        "entropy" | "entropy-al" => Box::new(EntropyAl),
+        "random" => Box::new(Random),
+        _ => return None,
+    })
+}
+
+fn cmd_list() {
+    println!("datasets:");
+    for ds in Dataset::ALL {
+        let stream = ds.stream(0, Scale::Quick);
+        println!(
+            "  {:<14} {:>2} tasks, {} environments, {}-d inputs",
+            ds.name(),
+            stream.len(),
+            stream.num_environments(),
+            stream.input_dim
+        );
+    }
+    println!("\nstrategies: faction, faction-no-select, faction-no-reg, faction-uncertainty,");
+    println!("            fal, fal-cur, decoupled, qufur, ddu, entropy, random");
+}
+
+fn cmd_run(flags: &HashMap<String, String>) {
+    let quick = flags.contains_key("quick");
+    let dataset = flags
+        .get("dataset")
+        .and_then(|d| Dataset::from_name(d))
+        .unwrap_or_else(|| {
+            eprintln!("--dataset required (one of RCMNIST, CelebA, FairFace, FFHQ, NYSF)");
+            std::process::exit(2);
+        });
+    let strategy_name = flags.get("strategy").map(String::as_str).unwrap_or("faction");
+    let seeds: u64 = flags.get("seeds").map(|s| s.parse().expect("--seeds integer")).unwrap_or(3);
+    let mut cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::paper() };
+    if let Some(budget) = flags.get("budget") {
+        cfg.budget = budget.parse().expect("--budget integer");
+    }
+    if let Some(mu) = flags.get("mu") {
+        cfg.loss.mu = mu.parse().expect("--mu float");
+    }
+    let lambda: f64 = flags.get("lambda").map(|v| v.parse().expect("--lambda float")).unwrap_or(1.0);
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    eprintln!(
+        "running {strategy_name} on {} ({seeds} seeds, budget {})…",
+        dataset.name(),
+        cfg.budget
+    );
+    let runs: Vec<RunRecord> = (0..seeds)
+        .map(|seed| {
+            let stream = dataset.stream(seed, scale);
+            let arch =
+                faction::nn::presets::standard(stream.input_dim, stream.num_classes, seed);
+            let mut strategy = strategy_by_name(strategy_name, cfg.loss, lambda, quick)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown strategy '{strategy_name}'\n{USAGE}");
+                    std::process::exit(2);
+                });
+            let record = run_experiment(&stream, strategy.as_mut(), &arch, &cfg, seed);
+            eprintln!("  seed {seed}: {:.1}s", record.total_seconds);
+            record
+        })
+        .collect();
+    let aggregated = AggregatedRun::from_runs(&runs);
+    println!("\nper-task curves (mean across seeds):");
+    println!(
+        "{:<6} {:<14} {:>8} {:>8} {:>8} {:>8}",
+        "task", "environment", "acc", "DDP", "EOD", "MI"
+    );
+    for t in &aggregated.tasks {
+        println!(
+            "{:<6} {:<14} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            t.task_id, t.env_name, t.accuracy.mean, t.ddp.mean, t.eod.mean, t.mi.mean
+        );
+    }
+    println!();
+    println!("{}", render_summary_table(std::slice::from_ref(&aggregated)));
+}
+
+fn cmd_drift(flags: &HashMap<String, String>) {
+    let quick = flags.contains_key("quick");
+    let dataset = flags
+        .get("dataset")
+        .and_then(|d| Dataset::from_name(d))
+        .unwrap_or(Dataset::Rcmnist);
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let stream = dataset.stream(0, scale);
+    let detector = DriftDetector { threshold: 2.0, ..Default::default() };
+    println!("density-drop drift scan over {} ({} tasks):", dataset.name(), stream.len());
+    println!("{:<6} {:<16} {:>12} {:>8}", "task", "environment", "drop(nats)", "drift?");
+    let reference = &stream.tasks[0];
+    for task in &stream.tasks[1..] {
+        let report = detector
+            .score(
+                &reference.features(),
+                &reference.labels(),
+                &reference.sensitives(),
+                stream.num_classes,
+                &task.features(),
+            )
+            .expect("drift scoring");
+        println!(
+            "{:<6} {:<16} {:>12.2} {:>8}",
+            task.id,
+            task.env_name,
+            report.density_drop,
+            if report.drift_detected { "YES" } else { "-" }
+        );
+    }
+    println!("\n(reference distribution: task 0, environment '{}')", reference.env_name);
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) {
+    let quick = flags.contains_key("quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let datasets: Vec<Dataset> = match flags.get("dataset").map(String::as_str) {
+        Some(name) => vec![Dataset::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown dataset '{name}'");
+            std::process::exit(2);
+        })],
+        None => Dataset::ALL.to_vec(),
+    };
+    for dataset in datasets {
+        let stream = dataset.stream(0, scale);
+        let profile = faction::data::stats::StreamProfile::of(&stream);
+        println!("{}", profile.render());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let flags = parse_flags(&args);
+    match command {
+        "list" => cmd_list(),
+        "run" => cmd_run(&flags),
+        "drift" => cmd_drift(&flags),
+        "stats" => cmd_stats(&flags),
+        _ => print!("{USAGE}"),
+    }
+}
