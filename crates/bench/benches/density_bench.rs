@@ -3,7 +3,7 @@
 //! in Fig. 5b.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faction_density::{FairDensityConfig, FairDensityEstimator};
+use faction_density::{DensityScratch, FairDensityConfig, FairDensityEstimator};
 use faction_linalg::{Matrix, SeedRng};
 use std::hint::black_box;
 
@@ -81,5 +81,39 @@ fn bench_score(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_score);
+/// Before/after comparison: per-sample scoring (the pre-batching reference
+/// path, still exercised one row at a time) against the batched
+/// [`FairDensityEstimator::score_batch_into`] path, at pool sizes 100/1000.
+fn bench_score_per_sample_vs_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gda_score_per_sample_vs_batched");
+    group.sample_size(10);
+    let (x, y, s) = synthetic(600, 16, 5);
+    let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+    for &n in &[100usize, 1000] {
+        let (probe, _, _) = synthetic(n, 16, 11);
+        group.bench_with_input(BenchmarkId::new("per_sample", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for row in probe.iter_rows() {
+                    acc += est.log_density(black_box(row)).unwrap();
+                    acc += est.delta_g_all(row).unwrap().iter().sum::<f64>();
+                }
+                acc
+            })
+        });
+        let mut scratch = DensityScratch::new();
+        let mut log_density = vec![0.0; n];
+        let mut gaps = Matrix::zeros(0, 0);
+        group.bench_with_input(BenchmarkId::new("batched", n), &(), |b, ()| {
+            b.iter(|| {
+                est.score_batch_into(black_box(&probe), &mut scratch, &mut log_density, &mut gaps)
+                    .unwrap();
+                log_density[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_score, bench_score_per_sample_vs_batched);
 criterion_main!(benches);

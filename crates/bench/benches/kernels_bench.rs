@@ -33,6 +33,32 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after comparison of the kept naive reference kernel against the
+/// blocked/packed GEMM path at the PR-gate sizes.
+fn bench_matmul_naive_vs_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_naive_vs_blocked");
+    group.sample_size(10);
+    let mut rng = SeedRng::new(7);
+    for &n in &[64usize, 256, 512] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", n), &(), |bench, ()| {
+            bench.iter(|| black_box(a.matmul_naive(&b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &(), |bench, ()| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+        let mut out = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("blocked_into", n), &(), |bench, ()| {
+            bench.iter(|| {
+                a.matmul_into(&b, &mut out).unwrap();
+                black_box(out.get(0, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cholesky(c: &mut Criterion) {
     let mut group = c.benchmark_group("cholesky");
     group.sample_size(20);
@@ -90,5 +116,12 @@ fn bench_acquisition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_cholesky, bench_kmeans, bench_acquisition);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_naive_vs_blocked,
+    bench_cholesky,
+    bench_kmeans,
+    bench_acquisition
+);
 criterion_main!(benches);

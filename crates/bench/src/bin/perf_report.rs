@@ -1,0 +1,230 @@
+//! Deterministic stage-timing harness for the FACTION hot path.
+//!
+//! Times every stage of the per-iteration inner loop — feature extraction,
+//! GDA fit, GDA scoring (per-sample reference vs batched), one training
+//! step, and a full FACTION selection round — plus the naive-vs-blocked
+//! GEMM kernels, and writes the result to `BENCH_PR1.json` at the repo
+//! root. Each PR appends a `BENCH_PR<k>.json`, so the sequence of files is
+//! the repo's performance trajectory on one machine.
+//!
+//! All inputs are seeded, so the *work* is identical across runs; wall
+//! times obviously still vary with the machine. Every pair of compared
+//! paths (per-sample vs batched scoring, naive vs blocked matmul) is
+//! measured in the same process invocation, which is what the speedup
+//! figures in the JSON refer to.
+//!
+//! Usage: `cargo run --release --bin perf_report [-- --quick]`
+//! (`--quick` shrinks repetition counts for a smoke run; problem sizes are
+//! unchanged so the speedup figures remain comparable).
+
+use std::time::Instant;
+
+use faction_core::strategies::{faction::FactionParams, Faction, SelectionContext, Strategy};
+use faction_core::{ExperimentConfig, LabeledPool, OnlineModel};
+use faction_density::{DensityScratch, FairDensityConfig, FairDensityEstimator};
+use faction_linalg::{Matrix, SeedRng};
+use faction_nn::{BatchMeta, CrossEntropyLoss, MlpWorkspace, Sgd};
+use serde::Serialize;
+
+/// Timing for one named stage.
+#[derive(Debug, Clone, Serialize)]
+struct StageTiming {
+    /// Stage name.
+    name: String,
+    /// Median wall time per call, in nanoseconds.
+    median_ns: u64,
+    /// Inner calls per timed sample.
+    calls_per_sample: usize,
+    /// Timed samples taken (median is over these).
+    samples: usize,
+}
+
+/// The full report written to `BENCH_PR1.json`.
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    /// Report schema / PR tag.
+    report: String,
+    /// Whether this was a `--quick` smoke run.
+    quick: bool,
+    /// Per-stage medians.
+    stages: Vec<StageTiming>,
+    /// Batched GDA scoring speedup over the per-sample reference
+    /// (1000 candidates, 16-d features, 8 components).
+    gda_batch_speedup: f64,
+    /// Blocked matmul speedup over the kept naive kernel at 256×256.
+    matmul_256_speedup: f64,
+}
+
+/// Medians the wall time of `reps` samples of `calls` back-to-back calls.
+fn time_stage<F: FnMut()>(name: &str, reps: usize, calls: usize, mut f: F) -> StageTiming {
+    let mut samples: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        samples.push((start.elapsed().as_nanos() / calls as u128) as u64);
+    }
+    samples.sort_unstable();
+    StageTiming {
+        name: name.into(),
+        median_ns: samples[samples.len() / 2],
+        calls_per_sample: calls,
+        samples: reps,
+    }
+}
+
+fn synthetic(n: usize, d: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>, Vec<i8>) {
+    let mut rng = SeedRng::new(seed);
+    let mut features = Matrix::zeros(0, 0);
+    let mut labels = Vec::with_capacity(n);
+    let mut sens = Vec::with_capacity(n);
+    for i in 0..n {
+        let y = i % classes;
+        let s: i8 = if (i / classes).is_multiple_of(2) { 1 } else { -1 };
+        let mut x = rng.standard_normal_vec(d);
+        x[0] += 2.0 * y as f64;
+        x[1] += f64::from(s);
+        features.push_row(&x).unwrap();
+        labels.push(y);
+        sens.push(s);
+    }
+    (features, labels, sens)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 11 };
+    let mut stages: Vec<StageTiming> = Vec::new();
+
+    // --- GEMM kernels: kept naive reference vs blocked/packed path -------
+    let mut rng = SeedRng::new(17);
+    let dim = 256;
+    let a = Matrix::from_vec(
+        dim,
+        dim,
+        (0..dim * dim).map(|_| rng.uniform_range(-1.0, 1.0)).collect(),
+    )
+    .unwrap();
+    let b = Matrix::from_vec(
+        dim,
+        dim,
+        (0..dim * dim).map(|_| rng.uniform_range(-1.0, 1.0)).collect(),
+    )
+    .unwrap();
+    let naive = time_stage("matmul_256_naive", reps, 1, || {
+        std::hint::black_box(a.matmul_naive(&b).unwrap());
+    });
+    let blocked = time_stage("matmul_256_blocked", reps, 1, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    let matmul_256_speedup = naive.median_ns as f64 / blocked.median_ns as f64;
+    stages.push(naive);
+    stages.push(blocked);
+
+    // --- GDA: fit + scoring at the gate configuration --------------------
+    // 1000 candidates, 16-d features, 8 components (4 classes × 2 groups).
+    let (d, classes) = (16, 4);
+    let (train_x, train_y, train_s) = synthetic(2000, d, classes, 23);
+    let (cand_x, _, _) = synthetic(1000, d, classes, 29);
+    let cfg = FairDensityConfig::default();
+    let fit = time_stage("gda_fit_2000x16", reps, 1, || {
+        std::hint::black_box(
+            FairDensityEstimator::fit(&train_x, &train_y, &train_s, classes, &cfg).unwrap(),
+        );
+    });
+    stages.push(fit);
+
+    let est = FairDensityEstimator::fit(&train_x, &train_y, &train_s, classes, &cfg).unwrap();
+    let n = cand_x.rows();
+    let per_sample = time_stage("gda_score_1000_per_sample", reps, 1, || {
+        let mut acc = 0.0;
+        for i in 0..n {
+            let z = cand_x.row(i);
+            acc += est.log_density(z).unwrap();
+            acc += est.delta_g_all(z).unwrap().iter().sum::<f64>();
+        }
+        std::hint::black_box(acc);
+    });
+    let mut scratch = DensityScratch::new();
+    let mut log_density = vec![0.0; n];
+    let mut gaps = Matrix::zeros(0, 0);
+    let batched = time_stage("gda_score_1000_batched", reps, 1, || {
+        est.score_batch_into(&cand_x, &mut scratch, &mut log_density, &mut gaps).unwrap();
+        std::hint::black_box(&log_density);
+    });
+    let gda_batch_speedup = per_sample.median_ns as f64 / batched.median_ns as f64;
+    stages.push(per_sample);
+    stages.push(batched);
+
+    // --- MLP stages: feature extraction and one training step ------------
+    let arch = faction_nn::MlpConfig::new(vec![d, 64, 32, 2], 31);
+    let mut mlp = faction_nn::Mlp::new(&arch);
+    let mut ws = MlpWorkspace::new();
+    let mut feats = Matrix::zeros(0, 0);
+    let features = time_stage("feature_extraction_1000", reps, 4, || {
+        mlp.features_into(&cand_x, &mut ws, &mut feats);
+        std::hint::black_box(&feats);
+    });
+    stages.push(features);
+
+    let labels2: Vec<usize> = train_y.iter().map(|&y| y % 2).collect();
+    let meta = BatchMeta { labels: &labels2[..512], sensitive: &train_s[..512] };
+    let mut batch = Matrix::zeros(0, 0);
+    for i in 0..512 {
+        batch.push_row(train_x.row(i)).unwrap();
+    }
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let train = time_stage("train_step_512", reps, 4, || {
+        std::hint::black_box(mlp.train_step_with(&batch, &meta, &CrossEntropyLoss, &mut opt, &mut ws));
+    });
+    stages.push(train);
+
+    // --- Full FACTION selection round ------------------------------------
+    let exp_cfg = ExperimentConfig::quick();
+    let mut model = OnlineModel::new(&arch, &exp_cfg, 37);
+    let mut pool = LabeledPool::new();
+    for i in 0..300 {
+        pool.push(train_x.row(i).to_vec(), labels2[i], train_s[i]);
+    }
+    model.retrain(&pool, &CrossEntropyLoss);
+    let mut strategy = Faction::new(FactionParams::default());
+    let cand_sens: Vec<i8> = (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    let mut round_rng = SeedRng::new(41);
+    let round = time_stage("faction_round_1000", reps, 1, || {
+        let ctx = SelectionContext {
+            model: &model,
+            pool: &pool,
+            candidates: &cand_x,
+            candidate_sensitives: &cand_sens,
+            num_classes: 2,
+        };
+        std::hint::black_box(strategy.desirability(&ctx, &mut round_rng));
+    });
+    stages.push(round);
+
+    let report = PerfReport {
+        report: "BENCH_PR1".into(),
+        quick,
+        stages,
+        gda_batch_speedup,
+        matmul_256_speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+
+    // The harness lives two levels below the repo root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits at <root>/crates/bench")
+        .to_path_buf();
+    let out = root.join("BENCH_PR1.json");
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_PR1.json");
+
+    println!("wrote {}", out.display());
+    for t in &report.stages {
+        println!("{:<28} median {:>12} ns", t.name, t.median_ns);
+    }
+    println!("gda_batch_speedup   {gda_batch_speedup:.2}x");
+    println!("matmul_256_speedup  {matmul_256_speedup:.2}x");
+}

@@ -141,7 +141,7 @@ mod tests {
         let mut mlp = Mlp::new(&MlpConfig::new(vec![2, 8, 2], 3));
         let mut opt = Sgd::new(0.1);
         mlp.fit(
-            &pool.features(),
+            pool.features(),
             pool.labels(),
             pool.sensitives(),
             &CrossEntropyLoss,
@@ -212,7 +212,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         let mut rng = SeedRng::new(9);
         let losses = restored.model.fit(
-            &restored.pool.features(),
+            restored.pool.features(),
             restored.pool.labels(),
             restored.pool.sensitives(),
             &CrossEntropyLoss,
@@ -221,7 +221,7 @@ mod tests {
             &mut rng,
         );
         assert!(losses.last().unwrap().is_finite());
-        let preds = restored.model.predict(&restored.pool.features());
+        let preds = restored.model.predict(restored.pool.features());
         let acc = faction_fairness::accuracy(&preds, restored.pool.labels());
         assert!(acc > 0.8, "resumed accuracy {acc}");
     }

@@ -89,9 +89,9 @@ impl KMeans {
                 vector::axpy(1.0, row, sums.row_mut(c));
                 counts[c] += 1;
             }
-            for c in 0..k {
-                if counts[c] > 0 {
-                    let inv = 1.0 / counts[c] as f64;
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f64;
                     let row = sums.row(c).to_vec();
                     for (j, v) in row.iter().enumerate() {
                         centers.set(c, j, v * inv);

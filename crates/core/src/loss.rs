@@ -39,8 +39,7 @@ impl BatchLoss for FairTotalLoss {
         let (fair_value, dfair_dh) =
             self.config.fairness_term(&h, meta.sensitive, Some(meta.labels));
         // Chain rule through the softmax for the positive-class probability.
-        for r in 0..grad.rows() {
-            let dh = dfair_dh[r];
+        for (r, &dh) in dfair_dh.iter().enumerate() {
             if dh == 0.0 {
                 continue;
             }
@@ -108,8 +107,8 @@ impl BatchLoss for MultiGroupFairLoss {
                 dh[r] += self.mu * sign * coeff / k;
             }
         }
-        for r in 0..n {
-            if dh[r] == 0.0 {
+        for (r, &dhr) in dh.iter().enumerate() {
+            if dhr == 0.0 {
                 continue;
             }
             let p1 = probs.get(r, 1);
@@ -117,7 +116,7 @@ impl BatchLoss for MultiGroupFairLoss {
                 let delta = if c == 1 { 1.0 } else { 0.0 };
                 let jac = p1 * (delta - probs.get(r, c));
                 let cur = grad.get(r, c);
-                grad.set(r, c, cur + dh[r] * jac);
+                grad.set(r, c, cur + dhr * jac);
             }
         }
         (ce + self.mu * (penalty - self.epsilon), grad)

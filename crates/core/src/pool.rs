@@ -11,7 +11,7 @@ use crate::config::ExperimentConfig;
 /// once the oracle revealed them.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct LabeledPool {
-    features: Vec<Vec<f64>>,
+    features: Matrix,
     labels: Vec<usize>,
     sensitives: Vec<i8>,
 }
@@ -33,18 +33,22 @@ impl LabeledPool {
     }
 
     /// Adds one labeled sample.
+    ///
+    /// # Panics
+    /// Panics if the feature dimension disagrees with earlier samples
+    /// (programming error in the protocol plumbing).
     pub fn push(&mut self, x: Vec<f64>, label: usize, sensitive: i8) {
-        self.features.push(x);
+        self.features.push_row(&x).expect("pool rows share one dimension");
         self.labels.push(label);
         self.sensitives.push(sensitive);
     }
 
-    /// Stacks pooled features into an `(n, d)` matrix.
-    ///
-    /// # Panics
-    /// Panics if the pool is empty.
-    pub fn features(&self) -> Matrix {
-        Matrix::from_rows(&self.features).expect("non-empty rectangular pool")
+    /// The pooled features as an `(n, d)` matrix. The matrix is maintained
+    /// incrementally as samples arrive, so this is a free borrow — the
+    /// selection and retraining hot paths no longer re-stack the pool every
+    /// acquisition round.
+    pub fn features(&self) -> &Matrix {
+        &self.features
     }
 
     /// Labels of the pooled samples.
@@ -100,9 +104,8 @@ impl OnlineModel {
         if pool.is_empty() {
             return 0.0;
         }
-        let x = pool.features();
         let losses = self.mlp.fit(
-            &x,
+            pool.features(),
             pool.labels(),
             pool.sensitives(),
             loss,
@@ -172,7 +175,7 @@ mod tests {
             last = model.retrain(&pool, &CrossEntropyLoss);
         }
         assert!(last < 0.2, "loss after repeated retraining {last}");
-        let preds = model.mlp().predict(&pool.features());
+        let preds = model.mlp().predict(pool.features());
         let acc = faction_fairness::accuracy(&preds, pool.labels());
         assert!(acc > 0.9, "accuracy {acc}");
     }

@@ -132,6 +132,10 @@ pub fn run_experiment(
         model.retrain(&pool, loss.as_ref());
     }
 
+    // Buffers reused across every acquisition round of every task.
+    let mut candidates = Matrix::default();
+    let mut candidate_sensitives: Vec<i8> = Vec::new();
+
     for task in &stream.tasks {
         let task_start = Instant::now();
         let (accuracy, ddp, eod, mi, calibration_gap) = evaluate(&model, task);
@@ -148,10 +152,13 @@ pub fn run_experiment(
 
         while oracle.remaining() > 0 && !unlabeled.is_empty() {
             // Score the remaining candidates with θ from the last retrain.
+            // The candidate feature/sensitive buffers are reused across
+            // rounds — the unlabeled set only shrinks, so after round one
+            // these fills allocate nothing.
             let select_start = Instant::now();
-            let candidates = task.features_of(&unlabeled);
-            let candidate_sensitives: Vec<i8> =
-                unlabeled.iter().map(|&i| task.samples[i].sensitive).collect();
+            task.features_of_into(&unlabeled, &mut candidates);
+            candidate_sensitives.clear();
+            candidate_sensitives.extend(unlabeled.iter().map(|&i| task.samples[i].sensitive));
             let ctx = SelectionContext {
                 model: &model,
                 pool: &pool,

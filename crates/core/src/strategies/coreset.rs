@@ -34,7 +34,7 @@ impl Strategy for Coreset {
         let mut min_dist: Vec<f64> = if ctx.pool.is_empty() {
             vec![f64::INFINITY; n]
         } else {
-            let pool_features = ctx.model.mlp().features(&ctx.pool.features());
+            let pool_features = ctx.model.mlp().features(ctx.pool.features());
             (0..n)
                 .map(|i| {
                     pool_features
@@ -57,13 +57,13 @@ impl Strategy for Coreset {
             desirability[pick] = remaining as f64; // earlier picks score higher
             let picked_row = candidate_features.row(pick).to_vec();
             min_dist[pick] = f64::NEG_INFINITY; // consumed
-            for i in 0..n {
-                if min_dist[i] == f64::NEG_INFINITY {
+            for (i, md) in min_dist.iter_mut().enumerate() {
+                if *md == f64::NEG_INFINITY {
                     continue;
                 }
                 let d = vector::dist2(candidate_features.row(i), &picked_row);
-                if d < min_dist[i] {
-                    min_dist[i] = d;
+                if d < *md {
+                    *md = d;
                 }
             }
             remaining -= 1;

@@ -11,16 +11,10 @@ use crate::selection::AcquisitionMode;
 use crate::strategies::{SelectionContext, Strategy};
 
 /// Class-conditional density-based uncertainty sampling.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Ddu {
     /// Density-estimator settings.
     pub density: FairDensityConfig,
-}
-
-impl Default for Ddu {
-    fn default() -> Self {
-        Ddu { density: FairDensityConfig::default() }
-    }
 }
 
 impl Strategy for Ddu {
@@ -30,7 +24,7 @@ impl Strategy for Ddu {
 
     fn desirability(&mut self, ctx: &SelectionContext<'_>, _rng: &mut SeedRng) -> Vec<f64> {
         let n = ctx.candidates.rows();
-        let pool_features = ctx.model.mlp().features(&ctx.pool.features());
+        let pool_features = ctx.model.mlp().features(ctx.pool.features());
         let estimator = match FairDensityEstimator::fit_class_only(
             &pool_features,
             ctx.pool.labels(),

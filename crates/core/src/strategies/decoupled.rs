@@ -64,7 +64,7 @@ impl Decoupled {
             return None;
         }
         let pool_x = ctx.pool.features();
-        let x = faction_nn::mlp::gather_rows(&pool_x, &indices);
+        let x = faction_nn::mlp::gather_rows(pool_x, &indices);
         let sens = vec![group; indices.len()];
         let arch = faction_nn::presets::tiny(x.cols(), ctx.num_classes, rng.fork(0).uniform().to_bits());
         let mut model = Mlp::new(&arch);

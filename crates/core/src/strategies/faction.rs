@@ -18,10 +18,12 @@
 //! ("w/o Fair Reg"). Disabling both leaves pure epistemic-uncertainty
 //! selection, i.e. the DDU-style variant in the ablation tables.
 
-use faction_density::{FairDensityConfig, FairDensityEstimator};
+use std::cell::RefCell;
+
+use faction_density::{DensityScratch, FairDensityConfig, FairDensityEstimator};
 use faction_fairness::TotalLossConfig;
-use faction_linalg::SeedRng;
-use faction_nn::{BatchLoss, CrossEntropyLoss};
+use faction_linalg::{Matrix, SeedRng};
+use faction_nn::{BatchLoss, CrossEntropyLoss, MlpWorkspace};
 
 use crate::loss::FairTotalLoss;
 use crate::selection::{desirability_from_scores, AcquisitionMode};
@@ -59,28 +61,44 @@ impl Default for FactionParams {
     }
 }
 
+/// Long-lived buffers for [`Faction::raw_scores`]: MLP forward workspaces,
+/// feature/probability matrices, and the density-estimator scratch. Held in
+/// a `RefCell` because scoring takes `&self`; all buffers reach their
+/// high-water size on the first round and are then reused allocation-free.
+#[derive(Debug, Clone, Default)]
+struct FactionScratch {
+    ws: MlpWorkspace,
+    pool_z: Matrix,
+    z: Matrix,
+    probs: Matrix,
+    density: DensityScratch,
+    log_density: Vec<f64>,
+    gaps: Matrix,
+}
+
 /// The FACTION strategy with ablation switches.
 #[derive(Debug, Clone)]
 pub struct Faction {
     params: FactionParams,
+    scratch: RefCell<FactionScratch>,
 }
 
 impl Faction {
     /// Creates FACTION (or one of its ablated variants) from parameters.
     pub fn new(params: FactionParams) -> Self {
-        Faction { params }
+        Faction { params, scratch: RefCell::new(FactionScratch::default()) }
     }
 
     /// The "w/o Fair Select" ablation of Fig. 4.
     pub fn without_fair_select(mut params: FactionParams) -> Self {
         params.fair_select = false;
-        Faction { params }
+        Faction::new(params)
     }
 
     /// The "w/o Fair Reg" ablation of Fig. 4.
     pub fn without_fair_reg(mut params: FactionParams) -> Self {
         params.fair_reg = false;
-        Faction { params }
+        Faction::new(params)
     }
 
     /// The "w/o Fair Select & Fair Reg" ablation (pure epistemic
@@ -88,7 +106,7 @@ impl Faction {
     pub fn uncertainty_only(mut params: FactionParams) -> Self {
         params.fair_select = false;
         params.fair_reg = false;
-        Faction { params }
+        Faction::new(params)
     }
 
     /// Current parameters (read-only).
@@ -98,12 +116,21 @@ impl Faction {
 
     /// Computes the raw Eq. (6) scores `u(x)` (lower = query first) for a
     /// candidate batch. Exposed for the scoring micro-benchmarks.
+    ///
+    /// The whole candidate batch is scored through the batched density path
+    /// ([`FairDensityEstimator::score_batch_into`]) with long-lived scratch
+    /// buffers, so after the first round this performs zero per-candidate
+    /// allocations; the results are bit-identical to per-sample
+    /// `log_density` / `delta_g_all` scoring.
     pub fn raw_scores(&self, ctx: &SelectionContext<'_>) -> Vec<f64> {
         let n = ctx.candidates.rows();
+        let mut scratch = self.scratch.borrow_mut();
+        let FactionScratch { ws, pool_z, z, probs, density, log_density, gaps } = &mut *scratch;
+        let mlp = ctx.model.mlp();
         // Fit G(z) on the pool's learned features (Algorithm 1, lines 9–18).
-        let pool_features = ctx.model.mlp().features(&ctx.pool.features());
+        mlp.features_into(ctx.pool.features(), ws, pool_z);
         let estimator = FairDensityEstimator::fit(
-            &pool_features,
+            pool_z,
             ctx.pool.labels(),
             ctx.pool.sensitives(),
             ctx.num_classes,
@@ -115,22 +142,28 @@ impl Faction {
             // every candidate is equally desirable.
             Err(_) => return vec![0.0; n],
         };
-        let z = ctx.model.mlp().features(ctx.candidates);
-        let probs = ctx.model.mlp().predict_proba(ctx.candidates);
+        mlp.features_into(ctx.candidates, ws, z);
+        log_density.clear();
+        log_density.resize(n, 0.0);
         let mut scores = Vec::with_capacity(n);
-        for i in 0..n {
-            let zi = z.row(i);
-            let g = estimator.log_density(zi).unwrap_or(f64::NEG_INFINITY);
-            let fairness_term = if self.params.fair_select {
-                let gaps = estimator.delta_g_all(zi).unwrap_or_default();
-                gaps.iter()
-                    .enumerate()
-                    .map(|(c, gap)| probs.get(i, c) * gap)
-                    .sum::<f64>()
-            } else {
-                0.0
-            };
-            scores.push(g - self.params.lambda * fairness_term);
+        if self.params.fair_select {
+            mlp.predict_proba_into(ctx.candidates, ws, probs);
+            if estimator.score_batch_into(z, density, log_density, gaps).is_err() {
+                // Unreachable for consistent dimensions; treat like the
+                // degenerate-pool case.
+                return vec![0.0; n];
+            }
+            for (i, &ld) in log_density.iter().enumerate() {
+                let fairness_term = (0..ctx.num_classes)
+                    .map(|c| probs.get(i, c) * gaps.get(c, i))
+                    .sum::<f64>();
+                scores.push(ld - self.params.lambda * fairness_term);
+            }
+        } else {
+            if estimator.log_density_batch_into(z, density, log_density).is_err() {
+                return vec![0.0; n];
+            }
+            scores.extend_from_slice(log_density);
         }
         scores
     }

@@ -83,7 +83,7 @@ impl Strategy for Fal {
         let pool_x = ctx.pool.features();
         let pool_idx =
             rng.sample_indices(ctx.pool.len(), self.params.retrain_subsample.min(ctx.pool.len()));
-        let sub_x = faction_nn::mlp::gather_rows(&pool_x, &pool_idx);
+        let sub_x = faction_nn::mlp::gather_rows(pool_x, &pool_idx);
         let sub_y: Vec<usize> = pool_idx.iter().map(|&i| ctx.pool.labels()[i]).collect();
         let sub_s: Vec<i8> = pool_idx.iter().map(|&i| ctx.pool.sensitives()[i]).collect();
         let probe_idx = rng.sample_indices(n, self.params.probe_subsample.min(n));

@@ -62,6 +62,18 @@ impl Task {
         Matrix::from_rows(&rows).expect("subset features are rectangular and non-empty")
     }
 
+    /// Like [`Task::features_of`], but writes into a caller-provided buffer
+    /// so the acquisition loop can reuse one candidate matrix across rounds
+    /// (the pool only shrinks, so the buffer reaches its high-water size on
+    /// round one and never reallocates again).
+    pub fn features_of_into(&self, indices: &[usize], out: &mut Matrix) {
+        let d = self.samples.first().map_or(0, |s| s.x.len());
+        out.reset_to_zeros(indices.len(), d);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(&self.samples[i].x);
+        }
+    }
+
     /// Ground-truth labels (test-metric use only; learners must go through
     /// the oracle).
     pub fn labels(&self) -> Vec<usize> {
@@ -164,6 +176,17 @@ mod tests {
         let f = t.features_of(&[2, 0]);
         assert_eq!(f.shape(), (2, 2));
         assert_eq!(f.row(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn features_of_into_reuses_buffer() {
+        let t = toy_task();
+        let mut buf = Matrix::zeros(0, 0);
+        t.features_of_into(&[2, 0], &mut buf);
+        assert_eq!(buf, t.features_of(&[2, 0]));
+        // Shrinking reuse keeps the results identical to a fresh build.
+        t.features_of_into(&[1], &mut buf);
+        assert_eq!(buf, t.features_of(&[1]));
     }
 
     #[test]

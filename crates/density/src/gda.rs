@@ -12,12 +12,54 @@ use crate::gaussian::Gaussian;
 use crate::DensityError;
 
 /// Identifies one mixture component: a class label and a sensitive value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` sorts by class, then sensitive value — the canonical component
+/// order used for storage and for every mixture reduction, which keeps
+/// log-sum-exp accumulation order (and therefore results) identical across
+/// processes and between the scalar and batched scoring paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ComponentKey {
     /// Class label `y`.
     pub class: usize,
     /// Sensitive attribute `s ∈ {−1, +1}`.
     pub sensitive: i8,
+}
+
+/// Reusable buffers for the batched scoring paths.
+///
+/// Holds the centered-transpose and triangular-solve scratch plus the
+/// per-component log-density matrix. Buffers are resized lazily via
+/// [`Matrix::reset_to_zeros`], so a long-lived scratch reaches its
+/// high-water size once and then makes **zero allocations per call** — the
+/// property `Faction::raw_scores` relies on in the selection hot loop.
+#[derive(Debug, Clone)]
+pub struct DensityScratch {
+    /// `d × N` centered transposed candidates.
+    ct: Matrix,
+    /// `d × N` forward-substitution workspace.
+    solve: Matrix,
+    /// `num_components × N` raw per-component log densities (no priors).
+    comp_lp: Matrix,
+    /// Per-sample mixture terms, one per component.
+    terms: Vec<f64>,
+}
+
+impl DensityScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DensityScratch {
+            ct: Matrix::zeros(0, 0),
+            solve: Matrix::zeros(0, 0),
+            comp_lp: Matrix::zeros(0, 0),
+            terms: Vec::new(),
+        }
+    }
+}
+
+impl Default for DensityScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Fitting configuration for [`FairDensityEstimator`].
@@ -44,12 +86,18 @@ impl Default for FairDensityConfig {
 }
 
 /// The fitted `C × S` component mixture with empirical priors `p(y, s)`.
+///
+/// Components are stored sorted by [`ComponentKey`] (class, then sensitive
+/// value). A `HashMap` here would make mixture sums follow the map's
+/// per-process iteration order, so `log g(z)` could differ in the last bits
+/// between two runs of the same experiment; the sorted `Vec` makes every
+/// reduction order — and thus every emitted artifact — deterministic.
 #[derive(Debug, Clone)]
 pub struct FairDensityEstimator {
     dim: usize,
     num_classes: usize,
     sensitive_values: Vec<i8>,
-    components: HashMap<ComponentKey, (Gaussian, f64)>,
+    components: Vec<(ComponentKey, Gaussian, f64)>,
 }
 
 impl FairDensityEstimator {
@@ -108,7 +156,7 @@ impl FairDensityEstimator {
             None
         };
 
-        let mut components = HashMap::with_capacity(groups.len());
+        let mut components = Vec::with_capacity(groups.len());
         for (key, indices) in groups {
             let rows: Vec<&[f64]> = indices.iter().map(|&i| features.row(i)).collect();
             let gaussian = match &pooled_cov {
@@ -119,8 +167,9 @@ impl FairDensityEstimator {
                 None => Gaussian::fit(&rows, cfg.ridge)?,
             };
             let log_prior = (indices.len() as f64 / n as f64).ln();
-            components.insert(key, (gaussian, log_prior));
+            components.push((key, gaussian, log_prior));
         }
+        components.sort_by_key(|(key, _, _)| *key);
         Ok(FairDensityEstimator {
             dim: features.cols(),
             num_classes,
@@ -162,7 +211,16 @@ impl FairDensityEstimator {
 
     /// Whether a component exists for `(class, sensitive)`.
     pub fn has_component(&self, class: usize, sensitive: i8) -> bool {
-        self.components.contains_key(&ComponentKey { class, sensitive })
+        self.find_component(class, sensitive).is_some()
+    }
+
+    /// Binary search for a component in the sorted store.
+    fn find_component(&self, class: usize, sensitive: i8) -> Option<&(ComponentKey, Gaussian, f64)> {
+        let key = ComponentKey { class, sensitive };
+        self.components
+            .binary_search_by_key(&key, |(k, _, _)| *k)
+            .ok()
+            .map(|i| &self.components[i])
     }
 
     /// Log conditional density `log g(z | y, s)`, or `None` when the cell had
@@ -176,8 +234,8 @@ impl FairDensityEstimator {
         class: usize,
         sensitive: i8,
     ) -> Result<Option<f64>, DensityError> {
-        match self.components.get(&ComponentKey { class, sensitive }) {
-            Some((g, _)) => Ok(Some(g.log_pdf(z)?)),
+        match self.find_component(class, sensitive) {
+            Some((_, g, _)) => Ok(Some(g.log_pdf(z)?)),
             None => Ok(None),
         }
     }
@@ -192,7 +250,7 @@ impl FairDensityEstimator {
     /// Returns [`DensityError::DimensionMismatch`] for a wrong-length `z`.
     pub fn log_density(&self, z: &[f64]) -> Result<f64, DensityError> {
         let mut terms = Vec::with_capacity(self.components.len());
-        for (g, log_prior) in self.components.values() {
+        for (_, g, log_prior) in &self.components {
             terms.push(g.log_pdf(z)? + log_prior);
         }
         Ok(vector::logsumexp(&terms))
@@ -235,11 +293,137 @@ impl FairDensityEstimator {
 
     /// Batch helper: `log g(z)` for every row of `features`.
     ///
+    /// Convenience wrapper over [`Self::log_density_batch_into`] that owns
+    /// its scratch; results are bit-identical to calling
+    /// [`Self::log_density`] per row.
+    ///
     /// # Errors
     /// Returns [`DensityError::DimensionMismatch`] if the feature width
     /// disagrees with the fitted dimension.
     pub fn log_density_batch(&self, features: &Matrix) -> Result<Vec<f64>, DensityError> {
-        features.iter_rows().map(|row| self.log_density(row)).collect()
+        let mut scratch = DensityScratch::new();
+        let mut out = vec![0.0; features.rows()];
+        self.log_density_batch_into(features, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fills `scratch.comp_lp` with the raw per-component log densities of
+    /// every candidate: row `c` holds `log g(zᵢ | component c)` for all i.
+    ///
+    /// One centered transpose + one batched triangular solve per component,
+    /// instead of `N × num_components` scalar solves.
+    fn component_log_pdfs(
+        &self,
+        features: &Matrix,
+        scratch: &mut DensityScratch,
+    ) -> Result<(), DensityError> {
+        if features.cols() != self.dim {
+            return Err(DensityError::DimensionMismatch {
+                expected: self.dim,
+                got: features.cols(),
+            });
+        }
+        let n = features.rows();
+        let DensityScratch { ct, solve, comp_lp, .. } = scratch;
+        comp_lp.reset_to_zeros(self.components.len(), n);
+        for (c_idx, (_, g, _)) in self.components.iter().enumerate() {
+            g.log_pdf_batch_into(features, ct, solve, comp_lp.row_mut(c_idx))?;
+        }
+        Ok(())
+    }
+
+    /// Batched mixture density: writes `log g(zᵢ)` for every row of
+    /// `features` into `out`, bit-identical to [`Self::log_density`] per
+    /// row (same component order, same log-sum-exp).
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] if the feature width or
+    /// `out` length disagree with the inputs.
+    pub fn log_density_batch_into(
+        &self,
+        features: &Matrix,
+        scratch: &mut DensityScratch,
+        out: &mut [f64],
+    ) -> Result<(), DensityError> {
+        let n = features.rows();
+        if out.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: out.len() });
+        }
+        self.component_log_pdfs(features, scratch)?;
+        let DensityScratch { comp_lp, terms, .. } = scratch;
+        for (i, o) in out.iter_mut().enumerate() {
+            terms.clear();
+            for (c_idx, (_, _, log_prior)) in self.components.iter().enumerate() {
+                terms.push(comp_lp.get(c_idx, i) + log_prior);
+            }
+            *o = vector::logsumexp(terms);
+        }
+        Ok(())
+    }
+
+    /// Batched FACTION scoring: one pass that computes **both** per-sample
+    /// mixture densities and per-class fairness gaps for a whole candidate
+    /// pool, sharing the per-component log-density matrix between the two
+    /// reductions (the scalar path recomputes every component density for
+    /// `delta_g_all` after already computing it for `log_density`).
+    ///
+    /// `log_density[i]` receives `log g(zᵢ)`; `gaps` is reshaped to
+    /// `num_classes × N` with `gaps[c][i] = Δg_c(zᵢ)`. Both outputs are
+    /// bit-identical to the scalar [`Self::log_density`] /
+    /// [`Self::delta_g`] per sample.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] on any shape
+    /// disagreement.
+    pub fn score_batch_into(
+        &self,
+        features: &Matrix,
+        scratch: &mut DensityScratch,
+        log_density: &mut [f64],
+        gaps: &mut Matrix,
+    ) -> Result<(), DensityError> {
+        let n = features.rows();
+        if log_density.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: log_density.len() });
+        }
+        self.component_log_pdfs(features, scratch)?;
+        let DensityScratch { comp_lp, terms, .. } = scratch;
+        for (i, o) in log_density.iter_mut().enumerate() {
+            terms.clear();
+            for (c_idx, (_, _, log_prior)) in self.components.iter().enumerate() {
+                terms.push(comp_lp.get(c_idx, i) + log_prior);
+            }
+            *o = vector::logsumexp(terms);
+        }
+        gaps.reset_to_zeros(self.num_classes, n);
+        // Components are sorted by (class, sensitive): each class owns one
+        // contiguous run of rows in comp_lp, in ascending-sensitive order —
+        // the same visit order as the scalar delta_g.
+        let mut idx = 0;
+        for c in 0..self.num_classes {
+            while idx < self.components.len() && self.components[idx].0.class < c {
+                idx += 1;
+            }
+            let start = idx;
+            while idx < self.components.len() && self.components[idx].0.class == c {
+                idx += 1;
+            }
+            if idx - start < 2 {
+                continue; // fewer than two groups: no fairness signal, gap 0
+            }
+            let gap_row = gaps.row_mut(c);
+            for (i, gap) in gap_row.iter_mut().enumerate() {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for row in start..idx {
+                    let lp = comp_lp.get(row, i);
+                    lo = lo.min(lp);
+                    hi = hi.max(lp);
+                }
+                *gap = hi - lo;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -379,6 +563,69 @@ mod tests {
         for (i, row) in x.iter_rows().enumerate() {
             assert_eq!(batch[i], est.log_density(row).unwrap());
         }
+    }
+
+    #[test]
+    fn score_batch_matches_scalar_bitwise() {
+        let (x, y, s) = four_clusters(15, 10);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        let mut scratch = DensityScratch::new();
+        let mut dens = vec![0.0; x.rows()];
+        let mut gaps = Matrix::zeros(0, 0);
+        est.score_batch_into(&x, &mut scratch, &mut dens, &mut gaps).unwrap();
+        assert_eq!(gaps.shape(), (2, x.rows()));
+        for (i, row) in x.iter_rows().enumerate() {
+            assert_eq!(dens[i].to_bits(), est.log_density(row).unwrap().to_bits());
+            for c in 0..2 {
+                assert_eq!(
+                    gaps.get(c, i).to_bits(),
+                    est.delta_g(row, c).unwrap().to_bits(),
+                    "class {c} sample {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_batch_scratch_reuse_across_shapes() {
+        // Same scratch across pools of different sizes/dimensions must keep
+        // producing correct results (buffers reshape internally).
+        let mut scratch = DensityScratch::new();
+        for (n_per, seed) in [(20usize, 11u64), (8, 12)] {
+            let (x, y, s) = four_clusters(n_per, seed);
+            let est =
+                FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+            let mut dens = vec![0.0; x.rows()];
+            let mut gaps = Matrix::zeros(0, 0);
+            est.score_batch_into(&x, &mut scratch, &mut dens, &mut gaps).unwrap();
+            for (i, row) in x.iter_rows().enumerate() {
+                assert_eq!(dens[i].to_bits(), est.log_density(row).unwrap().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn gap_row_zero_when_component_missing() {
+        // Class 1 has only one sensitive group: its whole gap row is 0.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut sens = Vec::new();
+        let mut rng = SeedRng::new(13);
+        for i in 0..30 {
+            rows.push(vec![rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)]);
+            labels.push(usize::from(i >= 20));
+            sens.push(if i >= 20 || i % 2 == 0 { 1i8 } else { -1i8 });
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let est =
+            FairDensityEstimator::fit(&x, &labels, &sens, 2, &FairDensityConfig::default())
+                .unwrap();
+        let mut scratch = DensityScratch::new();
+        let mut dens = vec![0.0; x.rows()];
+        let mut gaps = Matrix::zeros(0, 0);
+        est.score_batch_into(&x, &mut scratch, &mut dens, &mut gaps).unwrap();
+        assert!(gaps.row(1).iter().all(|&g| g == 0.0));
+        assert!(gaps.row(0).iter().any(|&g| g > 0.0));
     }
 
     #[test]

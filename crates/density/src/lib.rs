@@ -27,7 +27,7 @@ pub mod gaussian;
 pub mod gda;
 
 pub use gaussian::Gaussian;
-pub use gda::{ComponentKey, FairDensityConfig, FairDensityEstimator};
+pub use gda::{ComponentKey, DensityScratch, FairDensityConfig, FairDensityEstimator};
 
 /// Errors produced by density-estimation routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,6 @@
 //! Property-based tests for the fairness-sensitive density estimator.
 
-use faction_density::{FairDensityConfig, FairDensityEstimator, Gaussian};
+use faction_density::{DensityScratch, FairDensityConfig, FairDensityEstimator, Gaussian};
 use faction_linalg::{Matrix, SeedRng};
 use proptest::prelude::*;
 
@@ -111,5 +111,47 @@ proptest! {
         prop_assert_eq!(est.num_components(), 4);
         let probe: Vec<f64> = rng.standard_normal_vec(3);
         prop_assert!(est.log_density(&probe).unwrap().is_finite());
+    }
+
+    #[test]
+    fn batch_log_density_matches_per_sample_exactly(seed in 0u64..150, n in 1usize..40) {
+        let (x, y, s) = clustered_data(12, 4, 0.5, seed);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        let mut rng = SeedRng::new(seed ^ 0xBA7C);
+        let probe = Matrix::from_rows(
+            &(0..n).map(|_| rng.standard_normal_vec(4)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let batch = est.log_density_batch(&probe).unwrap();
+        prop_assert_eq!(batch.len(), n);
+        for (i, &ld) in batch.iter().enumerate() {
+            let scalar = est.log_density(probe.row(i)).unwrap();
+            prop_assert_eq!(ld.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_score_matches_per_sample_exactly(seed in 0u64..150, n in 1usize..40) {
+        let (x, y, s) = clustered_data(12, 4, 0.5, seed);
+        let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        let mut rng = SeedRng::new(seed ^ 0x5C0E);
+        let probe = Matrix::from_rows(
+            &(0..n).map(|_| rng.standard_normal_vec(4)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut scratch = DensityScratch::new();
+        let mut log_density = vec![0.0; n];
+        let mut gaps = Matrix::zeros(0, 0);
+        est.score_batch_into(&probe, &mut scratch, &mut log_density, &mut gaps).unwrap();
+        prop_assert_eq!(log_density.len(), n);
+        prop_assert_eq!(gaps.shape(), (2, n));
+        for i in 0..n {
+            let scalar_ld = est.log_density(probe.row(i)).unwrap();
+            prop_assert_eq!(log_density[i].to_bits(), scalar_ld.to_bits());
+            let scalar_gaps = est.delta_g_all(probe.row(i)).unwrap();
+            for c in 0..2 {
+                prop_assert_eq!(gaps.get(c, i).to_bits(), scalar_gaps[c].to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,324 @@
+//! Packed/blocked dense kernels behind [`crate::Matrix`]'s hot operations.
+//!
+//! The FACTION selection loop multiplies feature blocks (hundreds of rows,
+//! 16–128 columns) every round, so `A·B` is the single hottest kernel in the
+//! reproduction. The implementation here is a classic three-level blocking:
+//!
+//! * a **k-panel** (`KC` deep) bounds the working set so the packed slab of
+//!   `A` stays in L1 across the whole j sweep;
+//! * an **A micro-panel** of `MR` rows is transpose-packed (k-major) so the
+//!   micro-kernel reads its `A` operands from one contiguous, reused buffer
+//!   instead of striding across `MR` distant rows;
+//! * a **register tile** of `MR × NR` accumulators is carried through the
+//!   whole k-panel in locals, touching the output matrix once per panel
+//!   instead of once per scalar multiply-add.
+//!
+//! Every kernel preserves the *exact* floating-point accumulation order of
+//! the straightforward i-k-j loop: each output element is a left-to-right
+//! sum over ascending `k` (partial sums flow through the register tile in
+//! the same sequence the scalar loop would store them). The blocked products
+//! are therefore bit-identical to [`matmul_simple`], which the property
+//! tests in `faction-linalg` assert. Keeping bit parity matters beyond
+//! testing: experiment JSON artifacts are reproducible byte-for-byte whether
+//! or not a given build dispatches to the blocked path.
+//!
+//! All functions take raw row-major slices plus dimensions; the `Matrix`
+//! methods in [`crate::matrix`] do shape checking and call in here.
+
+/// Rows of `A` packed per micro-panel (register-tile height).
+pub const MR: usize = 4;
+/// Columns of `B` per register tile (register-tile width).
+pub const NR: usize = 8;
+/// Depth of the packed k-panel.
+pub const KC: usize = 256;
+
+/// Below this total flop-ish volume the blocked path's packing overhead is
+/// not worth it and the simple loop wins.
+const SMALL_VOLUME: usize = 16 * 16 * 16;
+
+/// Reference i-k-j product: `out += a · b` with `out` pre-zeroed by the
+/// caller. Branch-free dense inner loop (no sparsity short-circuit).
+///
+/// `a` is `m×k`, `b` is `k×n`, `out` is `m×n`, all row-major.
+pub fn matmul_simple(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+/// Blocked, packed product: `out = a · b` (`out` pre-zeroed by the caller).
+///
+/// Dispatches small problems to [`matmul_simple`]; the result is
+/// bit-identical either way (see module docs).
+pub fn matmul_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m * k * n <= SMALL_VOLUME || n < NR {
+        matmul_simple(a, b, out, m, k, n);
+        return;
+    }
+    // Packed A micro-panel, k-major: apack[kk * MR + ii] = a[ib+ii][kb+kk].
+    let mut apack = [0.0f64; MR * KC];
+    let mut kb = 0;
+    while kb < k {
+        let klen = KC.min(k - kb);
+        let mut ib = 0;
+        while ib < m {
+            let ilen = MR.min(m - ib);
+            for kk in 0..klen {
+                for ii in 0..ilen {
+                    apack[kk * MR + ii] = a[(ib + ii) * k + kb + kk];
+                }
+            }
+            let mut jb = 0;
+            while jb + NR <= n {
+                if ilen == MR {
+                    kernel_full(&apack, klen, b, kb, jb, n, out, ib);
+                } else {
+                    kernel_edge(&apack, klen, ilen, b, kb, jb, NR, n, out, ib);
+                }
+                jb += NR;
+            }
+            if jb < n {
+                kernel_edge(&apack, klen, ilen, b, kb, jb, n - jb, n, out, ib);
+            }
+            ib += MR;
+        }
+        kb += KC;
+    }
+}
+
+/// Full `MR × NR` register-tile micro-kernel over one k-panel.
+///
+/// Accumulators are seeded from `out` (carrying earlier panels' partial
+/// sums) and written back once, so per-element accumulation order stays the
+/// scalar loop's ascending-k order.
+#[inline]
+#[allow(clippy::too_many_arguments)] // micro-kernel: raw slices + tile coordinates
+fn kernel_full(
+    apack: &[f64],
+    klen: usize,
+    b: &[f64],
+    kb: usize,
+    jb: usize,
+    n: usize,
+    out: &mut [f64],
+    ib: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (ii, acc_row) in acc.iter_mut().enumerate() {
+        let row = &out[(ib + ii) * n + jb..(ib + ii) * n + jb + NR];
+        acc_row.copy_from_slice(row);
+    }
+    for kk in 0..klen {
+        let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
+        for (ii, acc_row) in acc.iter_mut().enumerate() {
+            let aik = apack[kk * MR + ii];
+            for (jj, av) in acc_row.iter_mut().enumerate() {
+                *av += aik * b_row[jj];
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate() {
+        let row = &mut out[(ib + ii) * n + jb..(ib + ii) * n + jb + NR];
+        row.copy_from_slice(acc_row);
+    }
+}
+
+/// Remainder tile (`ilen < MR` and/or `jlen < NR`): plain axpy sweep with
+/// the same ascending-k order as the full kernel.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn kernel_edge(
+    apack: &[f64],
+    klen: usize,
+    ilen: usize,
+    b: &[f64],
+    kb: usize,
+    jb: usize,
+    jlen: usize,
+    n: usize,
+    out: &mut [f64],
+    ib: usize,
+) {
+    for ii in 0..ilen {
+        let out_row = &mut out[(ib + ii) * n + jb..(ib + ii) * n + jb + jlen];
+        for kk in 0..klen {
+            let aik = apack[kk * MR + ii];
+            let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + jlen];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Transposed-LHS product `out = aᵀ · b` without materializing `aᵀ`.
+///
+/// `a` is `k×m`, `b` is `k×n`, `out` is `m×n` (pre-zeroed). This is the
+/// backprop `grad_w = xᵀ · δ` shape; the k-outer axpy sweep reads both
+/// operands row-contiguously and keeps per-element ascending-k order, so it
+/// is bit-identical to `a.transpose().matmul(b)`.
+pub fn matmul_tn_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aki * bkj;
+            }
+        }
+    }
+}
+
+/// Transposed-RHS product `out = a · bᵀ` without materializing `bᵀ`.
+///
+/// `a` is `m×k`, `b` is `n×k`, `out` is `m×n` (overwritten). This is the
+/// backprop `dx = δ · wᵀ` shape; each output element is a contiguous
+/// row·row dot, bit-identical to `a.matmul(&b.transpose())`.
+pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = crate::vector::dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Cache-blocked transpose: `out[c][r] = a[r][c]` for an `m×n` input.
+///
+/// Walks `TB×TB` tiles so both the strided reads and the strided writes stay
+/// within a tile that fits in L1, instead of streaming the whole output
+/// column-by-column.
+pub fn transpose_into(a: &[f64], out: &mut [f64], m: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    const TB: usize = 32;
+    let mut rb = 0;
+    while rb < m {
+        let rend = (rb + TB).min(m);
+        let mut cb = 0;
+        while cb < n {
+            let cend = (cb + TB).min(n);
+            for r in rb..rend {
+                for c in cb..cend {
+                    out[c * m + r] = a[r * n + c];
+                }
+            }
+            cb += TB;
+        }
+        rb += TB;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn random(m: usize, n: usize, rng: &mut SeedRng) -> Vec<f64> {
+        (0..m * n).map(|_| rng.uniform_range(-2.0, 2.0)).collect()
+    }
+
+    #[test]
+    fn blocked_matches_simple_bitwise() {
+        let mut rng = SeedRng::new(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 33, 19), (40, 64, 72), (65, 13, 9)] {
+            let a = random(m, k, &mut rng);
+            let b = random(k, n, &mut rng);
+            let mut simple = vec![0.0; m * n];
+            let mut blocked = vec![0.0; m * n];
+            matmul_simple(&a, &b, &mut simple, m, k, n);
+            matmul_into(&a, &b, &mut blocked, m, k, n);
+            for (x, y) in simple.iter().zip(&blocked) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_spans_multiple_k_panels() {
+        let mut rng = SeedRng::new(11);
+        let (m, k, n) = (9, KC + 37, 24);
+        let a = random(m, k, &mut rng);
+        let b = random(k, n, &mut rng);
+        let mut simple = vec![0.0; m * n];
+        let mut blocked = vec![0.0; m * n];
+        matmul_simple(&a, &b, &mut simple, m, k, n);
+        matmul_into(&a, &b, &mut blocked, m, k, n);
+        for (x, y) in simple.iter().zip(&blocked) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn tn_kernel_matches_explicit_transpose() {
+        let mut rng = SeedRng::new(3);
+        let (k, m, n) = (14, 6, 10);
+        let a = random(k, m, &mut rng);
+        let b = random(k, n, &mut rng);
+        // Explicit transpose then simple product.
+        let mut at = vec![0.0; m * k];
+        transpose_into(&a, &mut at, k, m);
+        let mut want = vec![0.0; m * n];
+        matmul_simple(&at, &b, &mut want, m, k, n);
+        let mut got = vec![0.0; m * n];
+        matmul_tn_into(&a, &b, &mut got, k, m, n);
+        for (x, y) in want.iter().zip(&got) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn nt_kernel_matches_explicit_transpose() {
+        let mut rng = SeedRng::new(5);
+        let (m, k, n) = (8, 12, 7);
+        let a = random(m, k, &mut rng);
+        let b = random(n, k, &mut rng);
+        let mut bt = vec![0.0; k * n];
+        transpose_into(&b, &mut bt, n, k);
+        let mut want = vec![0.0; m * n];
+        matmul_simple(&a, &bt, &mut want, m, k, n);
+        let mut got = vec![0.0; m * n];
+        matmul_nt_into(&a, &b, &mut got, m, k, n);
+        for (x, y) in want.iter().zip(&got) {
+            // Row·row dot and k-ascending axpy share the same addition
+            // sequence, so these are bit-equal too.
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose_tiles_cover_edges() {
+        let mut rng = SeedRng::new(9);
+        for &(m, n) in &[(1, 1), (5, 33), (33, 5), (64, 64), (70, 3)] {
+            let a = random(m, n, &mut rng);
+            let mut t = vec![0.0; m * n];
+            transpose_into(&a, &mut t, m, n);
+            for r in 0..m {
+                for c in 0..n {
+                    assert_eq!(a[r * n + c].to_bits(), t[c * m + r].to_bits());
+                }
+            }
+        }
+    }
+}

@@ -9,12 +9,13 @@
 //! all of it from scratch, with no external linear-algebra dependencies, so
 //! that every numerical behavior in the reproduction is auditable.
 //!
-//! The crate is deliberately simple: row-major dense `f64` storage, no
-//! expression templates, no SIMD intrinsics. The dimensionalities in the
-//! paper's pipeline (feature spaces of 16–128 dimensions, batches of a few
-//! hundred samples) make clarity a better trade than peak FLOPs; the
-//! Criterion benches in `faction-bench` confirm the pipeline is dominated by
-//! algorithmic structure, not kernel micro-efficiency.
+//! The crate keeps a simple surface — row-major dense `f64` storage, no
+//! expression templates, no SIMD intrinsics — but the hot products behind
+//! [`Matrix::matmul`] dispatch to the packed/blocked, register-tiled kernels
+//! in [`kernels`], which stay bit-identical to the reference loops (see the
+//! module docs there). Reference implementations are retained as
+//! `*_naive`/`*_simple` so benches and property tests can always compare
+//! the two paths in the same build.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -22,6 +23,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod rng;
 pub mod stats;

@@ -10,7 +10,7 @@ use crate::error::LinalgError;
 use crate::Result;
 
 /// A dense, row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -92,6 +92,43 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
+    /// Reshapes in place to `rows × cols` with every element zeroed,
+    /// reusing the existing allocation when capacity allows.
+    ///
+    /// This is the scratch-buffer idiom used by the batched kernels: a
+    /// long-lived `Matrix` absorbs per-round shape changes (candidate pools
+    /// shrink as samples are labeled) without reallocating once it has
+    /// reached its high-water size.
+    pub fn reset_to_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Appends one row, growing the matrix in place. An empty `0 × 0`
+    /// matrix adopts the row's length as its column count, so a growing
+    /// buffer (e.g. the labeled pool) needs no up-front dimension.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if the row length disagrees
+    /// with the existing column count.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        if row.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{} cols", self.cols),
+                right: format!("row len {}", row.len()),
+                op: "push_row",
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
     /// Immutable view of the raw row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -146,29 +183,76 @@ impl Matrix {
         self.data.chunks_exact(self.cols)
     }
 
-    /// Returns the transpose as a new matrix.
+    /// Returns the transpose as a new matrix (cache-blocked copy).
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t.set(c, r, self.get(r, c));
-            }
-        }
+        crate::kernels::transpose_into(&self.data, &mut t.data, self.rows, self.cols);
         t
+    }
+
+    /// Writes the transpose into `out` without allocating.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `out` is not
+    /// `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.rows != self.cols || out.cols != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("{}x{}", out.rows, out.cols),
+                op: "transpose_into",
+            });
+        }
+        crate::kernels::transpose_into(&self.data, &mut out.data, self.rows, self.cols);
+        Ok(())
     }
 
     /// Matrix–matrix product `self * other`.
     ///
-    /// Uses the cache-friendly i-k-j loop order over row-major storage.
+    /// Dispatches to the packed/blocked kernel in [`crate::kernels`]; the
+    /// result is bit-identical to [`Matrix::matmul_naive`].
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `self * other` into `out` without allocating (blocked kernel).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ or
+    /// `out` is not `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.check_product_shapes(self.cols, other.rows, other.cols, out, "matmul_into")?;
+        out.data.fill(0.0);
+        crate::kernels::matmul_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        Ok(())
+    }
+
+    /// Reference matrix–matrix product: the original i-k-j loop with a
+    /// sparsity short-circuit on `a[i][k] == 0`.
+    ///
+    /// Kept as the baseline the benches and property tests compare the
+    /// blocked kernel against.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 left: format!("{}x{}", self.rows, self.cols),
                 right: format!("{}x{}", other.rows, other.cols),
-                op: "matmul",
+                op: "matmul_naive",
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
@@ -188,6 +272,74 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Writes `selfᵀ * other` into `out` without materializing the
+    /// transpose (the backprop `xᵀ·δ` shape).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() !=
+    /// other.rows()` or `out` is not `self.cols() × other.cols()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.check_product_shapes(self.rows, other.rows, other.cols, out, "matmul_tn_into")?;
+        out.data.fill(0.0);
+        crate::kernels::matmul_tn_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        Ok(())
+    }
+
+    /// Writes `self * otherᵀ` into `out` without materializing the
+    /// transpose (the backprop `δ·wᵀ` shape).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() !=
+    /// other.cols()` or `out` is not `self.rows() × other.rows()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.check_product_shapes(self.cols, other.cols, other.rows, out, "matmul_nt_into")?;
+        crate::kernels::matmul_nt_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
+        Ok(())
+    }
+
+    /// Shared shape validation for the product family: `inner_left` must
+    /// match `inner_right` and `out` must be `self-side × other-side`.
+    fn check_product_shapes(
+        &self,
+        inner_left: usize,
+        inner_right: usize,
+        out_cols: usize,
+        out: &Matrix,
+        op: &'static str,
+    ) -> Result<()> {
+        if inner_left != inner_right {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("inner {inner_right}"),
+                op,
+            });
+        }
+        // The output height is whichever of (rows, cols) is not contracted.
+        let out_rows = if inner_left == self.cols { self.rows } else { self.cols };
+        if out.rows != out_rows || out.cols != out_cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{out_rows}x{out_cols}"),
+                right: format!("{}x{}", out.rows, out.cols),
+                op,
+            });
+        }
+        Ok(())
+    }
+
     /// Matrix–vector product `self * x`.
     ///
     /// # Errors
@@ -201,6 +353,25 @@ impl Matrix {
             });
         }
         Ok(self.iter_rows().map(|row| crate::vector::dot(row, x)).collect())
+    }
+
+    /// Writes `self * x` into `out` without allocating.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()` or
+    /// `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{}x{}", self.rows, self.cols),
+                right: format!("x len {}, out len {}", x.len(), out.len()),
+                op: "matvec_into",
+            });
+        }
+        for (o, row) in out.iter_mut().zip(self.iter_rows()) {
+            *o = crate::vector::dot(row, x);
+        }
+        Ok(())
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -417,5 +588,14 @@ mod tests {
     fn col_extracts_column() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn push_row_grows_and_matches_from_rows() {
+        let mut m = Matrix::default();
+        m.push_row(&[1.0, 2.0]).unwrap();
+        m.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(m, Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap());
+        assert!(m.push_row(&[5.0]).is_err());
     }
 }

@@ -148,4 +148,62 @@ proptest! {
         prop_assert!(rng.bernoulli(1.0));
         prop_assert!(!rng.bernoulli(0.0));
     }
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        seed in 0u64..200,
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+    ) {
+        let mut rng = SeedRng::new(seed);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.uniform_range(-2.0, 2.0)).collect())
+            .unwrap();
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.uniform_range(-2.0, 2.0)).collect())
+            .unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-10, "blocked {x} vs naive {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_elementwise(seed in 0u64..200, m in 1usize..70, n in 1usize..70) {
+        let mut rng = SeedRng::new(seed);
+        let a = Matrix::from_vec(m, n, (0..m * n).map(|_| rng.uniform_range(-3.0, 3.0)).collect())
+            .unwrap();
+        let t = a.transpose();
+        prop_assert_eq!(t.shape(), (n, m));
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(a.get(i, j).to_bits(), t.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_matches_per_column(seed in 0u64..150, d in 1usize..12, nrhs in 1usize..10) {
+        let mut rng = SeedRng::new(seed);
+        let g = Matrix::from_vec(d, d, (0..d * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let mut spd = g.matmul(&g.transpose()).unwrap();
+        spd.add_diagonal(1.0);
+        let chol = Cholesky::factor(&spd).unwrap();
+        let b = Matrix::from_vec(
+            d,
+            nrhs,
+            (0..d * nrhs).map(|_| rng.uniform_range(-5.0, 5.0)).collect(),
+        )
+        .unwrap();
+        let mut y = Matrix::zeros(d, nrhs);
+        chol.solve_lower_batch_into(&b, &mut y).unwrap();
+        for j in 0..nrhs {
+            let col: Vec<f64> = (0..d).map(|i| b.get(i, j)).collect();
+            let scalar = chol.solve_lower(&col).unwrap();
+            for i in 0..d {
+                prop_assert_eq!(y.get(i, j).to_bits(), scalar[i].to_bits());
+            }
+        }
+    }
 }

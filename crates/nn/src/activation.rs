@@ -17,6 +17,16 @@ pub fn relu(x: &Matrix) -> Matrix {
     out
 }
 
+/// Element-wise ReLU into a caller-provided buffer (reshaped to match `x`),
+/// the allocation-free sibling of [`relu`] used by the forward workspaces.
+/// Bit-identical to [`relu`] (same copy-then-clamp element operation).
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    out.reset_to_zeros(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = if v < 0.0 { 0.0 } else { v };
+    }
+}
+
 /// In-place multiply of `grad` by the ReLU derivative evaluated at the
 /// pre-activation `pre`: `grad[i] = 0` wherever `pre[i] <= 0`.
 ///

@@ -71,14 +71,25 @@ impl Dense {
     /// # Panics
     /// Panics if `x.cols() != fan_in` (programming error in model wiring).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.w).expect("dense forward shape");
+        let mut out = Matrix::zeros(x.rows(), self.fan_out());
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass into a caller-provided buffer (reshaped as needed):
+    /// the allocation-free sibling of [`Dense::forward`].
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != fan_in` (programming error in model wiring).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        out.reset_to_zeros(x.rows(), self.fan_out());
+        x.matmul_into(&self.w, out).expect("dense forward shape");
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             for (v, &bi) in row.iter_mut().zip(&self.b) {
                 *v += bi;
             }
         }
-        out
     }
 
     /// Backward pass. `x` is the input that produced the forward pass,
@@ -86,12 +97,23 @@ impl Dense {
     /// `dL/db` into the layer's gradient buffers (overwriting them) and
     /// returns `dL/dX`.
     pub fn backward(&mut self, x: &Matrix, delta: &Matrix) -> Matrix {
+        let mut dx = Matrix::zeros(delta.rows(), self.fan_in());
+        self.backward_into(x, delta, &mut dx);
+        dx
+    }
+
+    /// Backward pass writing `dL/dX` into a caller-provided buffer. Uses the
+    /// transpose-free GEMM kernels (`XᵀΔ` and `ΔWᵀ` without materializing
+    /// either transpose), so the only state touched is the layer's own
+    /// gradient buffers and `dx`.
+    pub fn backward_into(&mut self, x: &Matrix, delta: &Matrix, dx: &mut Matrix) {
         debug_assert_eq!(x.rows(), delta.rows(), "batch size mismatch");
-        self.grad_w = x.transpose().matmul(delta).expect("dense backward shape");
+        x.matmul_tn_into(delta, &mut self.grad_w).expect("dense backward shape");
         for c in 0..delta.cols() {
             self.grad_b[c] = (0..delta.rows()).map(|r| delta.get(r, c)).sum();
         }
-        delta.matmul(&self.w.transpose()).expect("dense backward dX shape")
+        dx.reset_to_zeros(delta.rows(), self.fan_in());
+        delta.matmul_nt_into(&self.w, dx).expect("dense backward dX shape");
     }
 
     /// Yields `(params, grads)` slice pairs for the optimizer, weights first

@@ -37,6 +37,6 @@ pub mod presets;
 pub mod spectral;
 
 pub use loss::{BatchLoss, BatchMeta, CrossEntropyLoss};
-pub use mlp::{Mlp, MlpConfig, TrainOptions};
+pub use mlp::{Mlp, MlpConfig, MlpWorkspace, TrainOptions};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use spectral::SpectralConfig;

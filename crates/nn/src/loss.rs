@@ -31,6 +31,14 @@ pub trait BatchLoss {
 /// Row-wise numerically stable softmax.
 pub fn softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Row-wise numerically stable softmax applied in place — the
+/// allocation-free core shared by [`softmax`] and the workspace-based
+/// prediction paths.
+pub fn softmax_in_place(out: &mut Matrix) {
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -43,7 +51,6 @@ pub fn softmax(logits: &Matrix) -> Matrix {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Row-wise log-softmax (stable).

@@ -3,11 +3,40 @@
 
 use faction_linalg::{Matrix, SeedRng};
 
-use crate::activation::{relu, relu_backward};
+use crate::activation::{relu_backward, relu_into};
 use crate::dense::Dense;
-use crate::loss::{softmax, BatchLoss, BatchMeta};
+use crate::loss::{softmax_in_place, BatchLoss, BatchMeta};
 use crate::optimizer::Optimizer;
 use crate::spectral::{self, SpectralConfig};
+
+/// Reusable forward/backward buffers for an [`Mlp`].
+///
+/// One workspace amortizes every per-layer allocation of the hot path:
+/// `acts`/`pres` cache hidden activations and pre-activations (needed for
+/// backprop), `delta`/`dx` ping-pong the gradient flowing backwards. Buffers
+/// grow to the high-water batch size on first use and are reshaped in place
+/// afterwards ([`Matrix::reset_to_zeros`]), so steady-state training and
+/// scoring perform zero heap allocations per call. A workspace is tied to
+/// nothing — the same one can serve different models and batch shapes.
+#[derive(Debug, Clone, Default)]
+pub struct MlpWorkspace {
+    acts: Vec<Matrix>,
+    pres: Vec<Matrix>,
+    delta: Matrix,
+    dx: Matrix,
+}
+
+impl MlpWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, layers: usize) {
+        self.acts.resize_with(layers, Matrix::default);
+        self.pres.resize_with(layers, Matrix::default);
+    }
+}
 
 /// Architecture and initialization configuration for an [`Mlp`].
 #[derive(Debug, Clone)]
@@ -111,30 +140,47 @@ impl Mlp {
         self.layers.len()
     }
 
-    /// Forward pass caching `(input, pre_activation)` per layer for backprop.
-    fn forward_cache(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut pres = Vec::with_capacity(self.layers.len());
-        let mut act = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let pre = layer.forward(&act);
-            inputs.push(act);
-            let is_last = i + 1 == self.layers.len();
-            act = if is_last { pre.clone() } else { relu(&pre) };
-            pres.push(pre);
+    /// Forward pass through the hidden stack, caching pre-activations and
+    /// activations in `ws`; the final pre-activation (the logits) lands in
+    /// `ws.pres[last]`.
+    fn forward_with(&self, x: &Matrix, ws: &mut MlpWorkspace) {
+        let n_layers = self.layers.len();
+        ws.ensure(n_layers);
+        let MlpWorkspace { acts, pres, .. } = ws;
+        for i in 0..n_layers {
+            let (head, tail) = acts.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &head[i - 1] };
+            self.layers[i].forward_into(input, &mut pres[i]);
+            if i + 1 < n_layers {
+                relu_into(&pres[i], &mut tail[0]);
+            }
         }
-        inputs.push(act); // final activations (logits) at the end
-        (inputs, pres)
     }
 
     /// Raw logits for a batch, shape `(n, classes)`.
     pub fn logits(&self, x: &Matrix) -> Matrix {
-        let mut act = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let pre = layer.forward(&act);
-            act = if i + 1 == self.layers.len() { pre } else { relu(&pre) };
+        let mut out = Matrix::default();
+        self.logits_into(x, &mut MlpWorkspace::default(), &mut out);
+        out
+    }
+
+    /// Writes the raw logits for a batch into `out` using `ws` for the
+    /// intermediate layers; allocation-free once both have reached the batch
+    /// shape. Bit-identical to [`Mlp::logits`].
+    pub fn logits_into(&self, x: &Matrix, ws: &mut MlpWorkspace, out: &mut Matrix) {
+        let n_layers = self.layers.len();
+        ws.ensure(n_layers);
+        let MlpWorkspace { acts, pres, .. } = ws;
+        for i in 0..n_layers {
+            let (head, tail) = acts.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &head[i - 1] };
+            if i + 1 == n_layers {
+                self.layers[i].forward_into(input, out);
+            } else {
+                self.layers[i].forward_into(input, &mut pres[i]);
+                relu_into(&pres[i], &mut tail[0]);
+            }
         }
-        act
     }
 
     /// Penultimate features `z = r(x, θ)` — post-ReLU activations of the
@@ -142,19 +188,45 @@ impl Mlp {
     /// extracts "from the first linear layer", which for its two-layer MLP
     /// *is* the last hidden layer). Returns a copy of `x` for linear models.
     pub fn features(&self, x: &Matrix) -> Matrix {
-        if self.layers.len() == 1 {
-            return x.clone();
+        let mut out = Matrix::default();
+        self.features_into(x, &mut MlpWorkspace::default(), &mut out);
+        out
+    }
+
+    /// Writes the penultimate features into `out` using `ws` for the
+    /// intermediate layers; allocation-free once both have reached the batch
+    /// shape. Bit-identical to [`Mlp::features`].
+    pub fn features_into(&self, x: &Matrix, ws: &mut MlpWorkspace, out: &mut Matrix) {
+        let n_layers = self.layers.len();
+        if n_layers == 1 {
+            out.reset_to_zeros(x.rows(), x.cols());
+            out.as_mut_slice().copy_from_slice(x.as_slice());
+            return;
         }
-        let mut act = x.clone();
-        for layer in &self.layers[..self.layers.len() - 1] {
-            act = relu(&layer.forward(&act));
+        ws.ensure(n_layers);
+        let MlpWorkspace { acts, pres, .. } = ws;
+        let hidden = n_layers - 1;
+        for i in 0..hidden {
+            let (head, tail) = acts.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &head[i - 1] };
+            self.layers[i].forward_into(input, &mut pres[i]);
+            let dst: &mut Matrix = if i + 1 == hidden { out } else { &mut tail[0] };
+            relu_into(&pres[i], dst);
         }
-        act
     }
 
     /// Softmax class probabilities, shape `(n, classes)`.
     pub fn predict_proba(&self, x: &Matrix) -> Matrix {
-        softmax(&self.logits(x))
+        let mut out = self.logits(x);
+        softmax_in_place(&mut out);
+        out
+    }
+
+    /// Writes softmax class probabilities into `out` using `ws` for the
+    /// intermediate layers. Bit-identical to [`Mlp::predict_proba`].
+    pub fn predict_proba_into(&self, x: &Matrix, ws: &mut MlpWorkspace, out: &mut Matrix) {
+        self.logits_into(x, ws, out);
+        softmax_in_place(out);
     }
 
     /// Hard class predictions (argmax of logits).
@@ -174,16 +246,37 @@ impl Mlp {
         loss: &dyn BatchLoss,
         opt: &mut dyn Optimizer,
     ) -> f64 {
-        let (inputs, pres) = self.forward_cache(x);
-        let logits = inputs.last().expect("forward produces logits");
+        self.train_step_with(x, meta, loss, opt, &mut MlpWorkspace::default())
+    }
+
+    /// [`Mlp::train_step`] with caller-provided buffers: the whole
+    /// forward/backward pass reuses `ws`, so steady-state training allocates
+    /// only the loss gradient (one matrix per step, recycled into the
+    /// workspace). Bit-identical to [`Mlp::train_step`].
+    pub fn train_step_with(
+        &mut self,
+        x: &Matrix,
+        meta: &BatchMeta<'_>,
+        loss: &dyn BatchLoss,
+        opt: &mut dyn Optimizer,
+        ws: &mut MlpWorkspace,
+    ) -> f64 {
+        let n_layers = self.layers.len();
+        self.forward_with(x, ws);
+        let logits = &ws.pres[n_layers - 1];
         let (loss_value, grad_logits) = loss.loss_and_grad(logits, meta);
-        // Backward pass.
-        let mut delta = grad_logits;
-        for i in (0..self.layers.len()).rev() {
-            let dx = self.layers[i].backward(&inputs[i], &delta);
-            delta = dx;
-            if i > 0 {
-                relu_backward(&mut delta, &pres[i - 1]);
+        // Backward pass: `delta`/`dx` ping-pong so each layer writes its
+        // input gradient into the buffer the previous iteration vacated.
+        ws.delta = grad_logits;
+        {
+            let MlpWorkspace { acts, pres, delta, dx } = &mut *ws;
+            for i in (0..n_layers).rev() {
+                let input: &Matrix = if i == 0 { x } else { &acts[i - 1] };
+                self.layers[i].backward_into(input, delta, dx);
+                std::mem::swap(delta, dx);
+                if i > 0 {
+                    relu_backward(delta, &pres[i - 1]);
+                }
             }
         }
         // Optimizer updates, then spectral cap enforcement.
@@ -235,6 +328,7 @@ impl Mlp {
     ///
     /// # Panics
     /// Panics if row counts disagree or the dataset is empty.
+    #[allow(clippy::too_many_arguments)] // full training configuration surface
     pub fn fit(
         &mut self,
         x: &Matrix,
@@ -252,16 +346,22 @@ impl Mlp {
         let bs = options.batch_size.clamp(1, n);
         let mut order: Vec<usize> = (0..n).collect();
         let mut epoch_losses = Vec::with_capacity(options.epochs);
+        let mut ws = MlpWorkspace::new();
+        let mut xb = Matrix::default();
+        let mut yb: Vec<usize> = Vec::new();
+        let mut sb: Vec<i8> = Vec::new();
         for _ in 0..options.epochs {
             rng.shuffle(&mut order);
             let mut total = 0.0;
             let mut batches = 0.0f64;
             for chunk in order.chunks(bs) {
-                let xb = gather_rows(x, chunk);
-                let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-                let sb: Vec<i8> = chunk.iter().map(|&i| sensitive[i]).collect();
+                gather_rows_into(x, chunk, &mut xb);
+                yb.clear();
+                yb.extend(chunk.iter().map(|&i| labels[i]));
+                sb.clear();
+                sb.extend(chunk.iter().map(|&i| sensitive[i]));
                 let meta = BatchMeta { labels: &yb, sensitive: &sb };
-                total += self.train_step(&xb, &meta, loss, opt);
+                total += self.train_step_with(&xb, &meta, loss, opt, &mut ws);
                 batches += 1.0;
             }
             epoch_losses.push(total / batches.max(1.0));
@@ -273,10 +373,17 @@ impl Mlp {
 /// Copies the listed rows of `x` into a new matrix (batch gather).
 pub fn gather_rows(x: &Matrix, indices: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(indices.len(), x.cols());
+    gather_rows_into(x, indices, &mut out);
+    out
+}
+
+/// [`gather_rows`] into a caller-provided buffer (reshaped as needed) —
+/// lets the mini-batch loop reuse one gather buffer across all batches.
+pub fn gather_rows_into(x: &Matrix, indices: &[usize], out: &mut Matrix) {
+    out.reset_to_zeros(indices.len(), x.cols());
     for (r, &i) in indices.iter().enumerate() {
         out.row_mut(r).copy_from_slice(x.row(i));
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-shot pre-commit gate: build, tests, lints, and a perf-harness smoke
+# run. Everything runs from the repo root regardless of invocation cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> perf_report --quick (smoke)"
+cargo run -p faction-bench --release --bin perf_report -- --quick
+
+echo "==> all checks passed"
