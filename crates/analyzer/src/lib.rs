@@ -1,0 +1,66 @@
+//! `faction-analyzer` — the workspace's determinism & numerics lint gate.
+//!
+//! PR 1's headline guarantees — bit-identical batched vs. scalar scoring,
+//! byte-reproducible experiment JSON — are properties that silently rot as
+//! code grows. This crate is the mechanical gate that keeps them: a
+//! from-scratch static-analysis pass (hand-rolled scanner, **zero**
+//! dependencies, consistent with the workspace's no-external-deps rule)
+//! that lexes every project `.rs` file and runs a six-rule suite over the
+//! token stream. See [`rules`] for the rule table and `DESIGN.md` §7 for
+//! the rationale tying each rule to a reproducibility claim.
+//!
+//! Layering:
+//!
+//! * [`lexer`] — tokens with correct literal/comment skipping, plus
+//!   `// analyzer:allow(<rule>): <reason>` suppression parsing;
+//! * [`scope`] — `#[cfg(test)]` / `mod tests` exemption tracking;
+//! * [`rules`] — the rule suite over one file's token stream;
+//! * [`workspace`] — deterministic file discovery and per-file rule scoping;
+//! * [`report`] — `file:line:rule: message` text and `--json` output.
+//!
+//! The binary (`cargo run -p faction-analyzer`) exits nonzero on any
+//! finding and runs as a blocking stage in `scripts/check.sh`, so the
+//! workspace must self-scan clean.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod workspace;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::Report;
+pub use rules::{CheckOutcome, FileClass, Finding};
+
+/// Runs the rule suite over one in-memory source file.
+///
+/// `display` is the path used in findings; `class` selects which
+/// scope-limited rules apply.
+pub fn analyze_source(display: &str, source: &str, class: &FileClass) -> CheckOutcome {
+    let mut lexed = lexer::lex(source);
+    rules::check_file(display, &mut lexed, class)
+}
+
+/// Scans the whole workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+///
+/// # Errors
+/// Propagates I/O errors from directory walking or file reads.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for item in workspace::workspace_files(root)? {
+        let source = fs::read_to_string(&item.path)?;
+        let outcome = analyze_source(&item.display, &source, &item.class);
+        report.findings.extend(outcome.findings);
+        report.suppressed += outcome.suppressed;
+        report.files_scanned += 1;
+    }
+    report.finalize();
+    Ok(report)
+}

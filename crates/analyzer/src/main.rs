@@ -1,0 +1,66 @@
+//! CLI for the determinism & numerics lint gate.
+//!
+//! ```text
+//! faction-analyzer [--root DIR] [--json]
+//! ```
+//!
+//! Scans the workspace at `--root` (default: the current directory),
+//! prints findings as `file:line:rule: message` lines (or a JSON report
+//! with `--json`), and exits nonzero when anything is flagged.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("faction-analyzer: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: faction-analyzer [--root DIR] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("faction-analyzer: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match faction_analyzer::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("faction-analyzer: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    eprintln!(
+        "faction-analyzer: {} finding(s), {} suppressed, {} files scanned",
+        report.findings.len(),
+        report.suppressed,
+        report.files_scanned
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

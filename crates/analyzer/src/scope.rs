@@ -1,0 +1,176 @@
+//! Test-scope tracking over the token stream.
+//!
+//! The rule suite exempts test code: anything under an item annotated with a
+//! `test`-bearing attribute (`#[cfg(test)]`, `#[cfg(all(test, …))]`,
+//! `#[test]`) or inside a `mod tests { … }` / `mod *_tests { … }` block.
+//! `#[cfg(not(test))]` does **not** exempt — the `not(…)` group is skipped
+//! when looking for the `test` token.
+//!
+//! Tracking is brace-depth based: the lexer guarantees braces inside
+//! strings, chars, and comments never reach us, so a simple counter with a
+//! stack of exemption start-depths is exact for well-formed code.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Returns, for each token, whether it sits inside test-exempt code.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth: i64 = 0;
+    // Depths at which an exempt scope opened.
+    let mut exempt_stack: Vec<i64> = Vec::new();
+    // A test-bearing attribute (or `mod tests`) was seen and we are waiting
+    // for the item's opening brace (or a `;` that ends a braceless item).
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // Attributes: `#[…]` (and inner `#![…]`).
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct("!") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct("[") {
+                let (attr_end, has_test) = scan_attr(tokens, j);
+                if has_test {
+                    pending = true;
+                }
+                for m in mask.iter_mut().take(attr_end).skip(i) {
+                    *m = *m || !exempt_stack.is_empty() || pending;
+                }
+                i = attr_end;
+                continue;
+            }
+        }
+        // `mod tests` / `mod foo_tests`.
+        if t.is_ident("mod") {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.kind == TokKind::Ident
+                    && (next.text == "tests" || next.text.ends_with("_tests"))
+                {
+                    pending = true;
+                }
+            }
+        }
+        if t.is_punct("{") {
+            depth += 1;
+            if pending {
+                exempt_stack.push(depth);
+                pending = false;
+            }
+        } else if t.is_punct("}") {
+            if exempt_stack.last() == Some(&depth) {
+                exempt_stack.pop();
+            }
+            depth -= 1;
+        } else if t.is_punct(";") && pending && exempt_stack.last() != Some(&depth) {
+            // `#[cfg(test)] use …;` — braceless item, exemption ends here.
+            pending = false;
+        }
+        mask[i] = !exempt_stack.is_empty() || pending;
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute starting at its `[` token; returns the index one past
+/// the matching `]` and whether the attribute mentions `test` outside a
+/// `not(…)` group.
+fn scan_attr(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut bracket = 0i64;
+    let mut paren = 0i64;
+    // Paren depths of currently-open `not(…)` groups.
+    let mut not_depths: Vec<i64> = Vec::new();
+    let mut has_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+            if bracket == 0 {
+                return (i + 1, has_test);
+            }
+        } else if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            if not_depths.last() == Some(&paren) {
+                not_depths.pop();
+            }
+            paren -= 1;
+        } else if t.is_ident("not")
+            && tokens.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            not_depths.push(paren + 1);
+        } else if t.is_ident("test") && not_depths.is_empty() {
+            has_test = true;
+        }
+        i += 1;
+    }
+    (tokens.len(), has_test)
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask_of(src: &str) -> (Vec<Tok>, Vec<bool>) {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        (out.tokens, mask)
+    }
+
+    fn ident_exempt(src: &str, ident: &str) -> bool {
+        let (toks, mask) = mask_of(src);
+        let idx = toks.iter().position(|t| t.is_ident(ident)).expect("ident present");
+        mask[idx]
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn live() { before(); }\n#[cfg(test)]\nmod tests { fn f() { inside(); } }\nfn after() { outside(); }";
+        assert!(!ident_exempt(src, "before"));
+        assert!(ident_exempt(src, "inside"));
+        assert!(!ident_exempt(src, "outside"));
+    }
+
+    #[test]
+    fn mod_tests_without_attr_is_exempt() {
+        let src = "mod tests { fn f() { inside(); } } fn g() { outside(); }";
+        assert!(ident_exempt(src, "inside"));
+        assert!(!ident_exempt(src, "outside"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f() { live(); }";
+        assert!(!ident_exempt(src, "live"));
+    }
+
+    #[test]
+    fn cfg_all_test_is_exempt() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn f() { inside(); }";
+        assert!(ident_exempt(src, "inside"));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_exempt() {
+        let src = "#[test]\nfn f() { inside(); }\nfn g() { outside(); }";
+        assert!(ident_exempt(src, "inside"));
+        assert!(!ident_exempt(src, "outside"));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn g() { outside(); }";
+        assert!(!ident_exempt(src, "outside"));
+    }
+
+    #[test]
+    fn nested_braces_inside_exempt_scope_stay_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { if x { deep(); } } }";
+        assert!(ident_exempt(src, "deep"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: banned-nondeterminism (scanned with `bench_crate = false`).
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::time::{Instant, SystemTime};
+
+pub fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng(); //~ banned-nondeterminism
+    rng.next_u64()
+}
+
+pub fn wall_clock() -> f64 {
+    let t0 = Instant::now(); //~ banned-nondeterminism
+    let _epoch = SystemTime::now(); //~ banned-nondeterminism
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn seedless_hashers() {
+    let _state = RandomState::new(); //~ banned-nondeterminism
+    let _hasher = DefaultHasher::default(); //~ banned-nondeterminism
+}
+
+pub fn mentions_in_comments_and_strings_are_fine() -> &'static str {
+    // thread_rng and Instant::now in a comment must not fire.
+    "thread_rng SystemTime::now RandomState::new"
+}

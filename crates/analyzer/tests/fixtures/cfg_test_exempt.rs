@@ -1,0 +1,32 @@
+//! Fixture: `#[cfg(test)]` / `mod tests` exemption (scanned with
+//! `lib_crate = true`).
+use std::collections::HashMap;
+
+pub fn live_code(v: Option<u32>) -> u32 {
+    v.unwrap() //~ unwrap-in-lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_here_are_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _sum: u32 = m.values().sum();
+        let _ = Some(5u32).unwrap();
+        let _ = 1.0 == 2.0;
+        panic!("tests may panic");
+    }
+}
+
+mod extra_tests {
+    pub fn helpers_in_test_modules_are_exempt(v: Option<u32>) -> u32 {
+        v.expect("exempt")
+    }
+}
+
+#[cfg(not(test))]
+pub fn cfg_not_test_is_live(v: Option<u32>) -> u32 {
+    v.unwrap() //~ unwrap-in-lib
+}

@@ -1,0 +1,7 @@
+//! Fixture: crate root missing both hygiene attributes (scanned with
+//! `crate_root = true`). Both findings anchor to line 1:
+//! the golden test carries the expectations explicitly.
+
+pub fn documented() -> u32 {
+    42
+}

@@ -1,0 +1,8 @@
+//! Fixture: crate root carrying both hygiene attributes — no findings.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub fn documented() -> u32 {
+    42
+}

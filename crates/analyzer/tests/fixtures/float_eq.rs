@@ -1,0 +1,29 @@
+//! Fixture: float-eq.
+
+pub fn literal_comparisons(x: f64) -> bool {
+    let a = x == 1.0; //~ float-eq
+    let b = x != 2.5e3; //~ float-eq
+    let c = 0.75 == x; //~ float-eq
+    let d = x == -3.5; //~ float-eq
+    a && b && c && d
+}
+
+pub fn casts(n: usize, x: f64) -> bool {
+    n as f64 == x //~ float-eq
+}
+
+pub fn zero_guards_are_fine(var: f64, cov: f64) -> f64 {
+    // Exact-zero tests are the recognized guard idiom before division.
+    if var == 0.0 || cov != 0.0e0 {
+        return 0.0;
+    }
+    1.0 / var
+}
+
+pub fn bit_comparisons_are_fine(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits()
+}
+
+pub fn integer_comparisons_are_fine(n: usize) -> bool {
+    n == 3 && n != 7
+}

@@ -1,0 +1,15 @@
+//! Fixture: lossy-cast (scanned with `hot_path = true`).
+
+pub fn narrowing(a: f64, n: usize) -> f32 {
+    let x = a as f32; //~ lossy-cast
+    let y = n as u32; //~ lossy-cast
+    let z = n as i16; //~ lossy-cast
+    x + ((y + z as u32) as f32) //~ lossy-cast //~ lossy-cast
+}
+
+pub fn widening_is_fine(n: u32, i: usize) -> f64 {
+    let a = n as f64;
+    let b = i as f64;
+    let c = n as usize;
+    a + b + c as f64
+}

@@ -1,0 +1,46 @@
+//! Fixture: nondeterministic-iteration. Expected findings are the trailing
+//! markers, asserted by `tests/golden.rs`; this file is never compiled.
+use std::collections::{HashMap, HashSet};
+
+fn annotated_param(m: &HashMap<String, u32>) -> u32 {
+    let mut total = 0;
+    for (_k, v) in m.iter() { //~ nondeterministic-iteration
+        total += v;
+    }
+    total
+}
+
+fn initializer_binding() -> Vec<u32> {
+    let mut set = HashSet::new();
+    set.insert(1u32);
+    let mut out: Vec<u32> = set.iter().copied().collect(); //~ nondeterministic-iteration
+    for v in &set { //~ nondeterministic-iteration
+        out.push(*v);
+    }
+    out
+}
+
+fn values_and_drain(mut counts: HashMap<u8, u64>) -> u64 {
+    let a: u64 = counts.values().sum(); //~ nondeterministic-iteration
+    let b: u64 = counts.drain().map(|(_, v)| v).sum(); //~ nondeterministic-iteration
+    a + b
+}
+
+fn deterministic_uses_are_fine(m: &mut HashMap<String, u32>) -> Option<u32> {
+    // Point lookups, entry(), and insert() never walk the table.
+    m.entry("beta".into()).or_insert(0);
+    m.get("alpha").copied()
+}
+
+fn sorted_collect_is_still_flagged(m: &HashMap<String, u32>) -> Vec<String> {
+    // Collect-then-sort is the usual *fix*, but the walk itself is still
+    // flagged; the sorted result must carry an analyzer:allow.
+    let mut keys: Vec<String> = m.keys().cloned().collect(); //~ nondeterministic-iteration
+    keys.sort();
+    keys
+}
+
+fn suppressed_walk(m: &HashMap<String, u32>) -> u64 {
+    // analyzer:allow(nondeterministic-iteration): integer sum is order-independent
+    m.values().map(|&v| v as u64).sum()
+}

@@ -1,0 +1,24 @@
+//! Fixture: `analyzer:allow` suppression semantics (scanned with
+//! `lib_crate = true`).
+
+pub fn same_line_allow(v: Option<u32>) -> u32 {
+    v.unwrap() // analyzer:allow(unwrap-in-lib): fixture demonstrates same-line suppression
+}
+
+pub fn line_above_allow(v: Option<u32>) -> u32 {
+    // analyzer:allow(unwrap-in-lib): fixture demonstrates line-above suppression
+    v.expect("suppressed from the line above")
+}
+
+pub fn allow_without_reason(v: Option<u32>) -> u32 {
+    v.unwrap() // analyzer:allow(unwrap-in-lib) //~ unwrap-in-lib //~ bad-allow
+}
+
+pub fn allow_with_unknown_rule(v: Option<u32>) -> u32 {
+    v.unwrap() // analyzer:allow(made-up-rule): not a real rule //~ unwrap-in-lib //~ bad-allow
+}
+
+pub fn wrong_rule_does_not_suppress(v: Option<u32>) -> u32 {
+    // analyzer:allow(float-eq): names the wrong rule, so the unwrap still fires
+    v.unwrap() //~ unwrap-in-lib
+}

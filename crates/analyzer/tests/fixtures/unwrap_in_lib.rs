@@ -1,0 +1,31 @@
+//! Fixture: unwrap-in-lib (scanned with `lib_crate = true`).
+use std::collections::BTreeMap;
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap() //~ unwrap-in-lib
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("present") //~ unwrap-in-lib
+}
+
+pub fn panics(flag: bool) {
+    if flag {
+        panic!("boom"); //~ unwrap-in-lib
+    }
+}
+
+pub fn fallbacks_are_fine(v: Option<u32>, m: &BTreeMap<u32, u32>) -> u32 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default carry no panic path.
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + m.get(&0).copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1u32).unwrap();
+        None::<u32>.expect("fine in tests");
+        panic!("fine in tests");
+    }
+}

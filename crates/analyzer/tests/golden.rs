@@ -1,0 +1,176 @@
+//! Golden tests for the rule suite.
+//!
+//! Each fixture under `tests/fixtures/` is a plain data file (never
+//! compiled) carrying trailing `//~ <rule>` markers on every line where a
+//! finding is expected — the rustc-UI-test convention, so the expectations
+//! move with the code when lines shift. The harness lexes the fixture
+//! through [`faction_analyzer::analyze_source`] with the `FileClass` the
+//! fixture documents, then compares the sorted `(line, rule)` multiset of
+//! findings against the markers.
+
+use std::path::Path;
+
+use faction_analyzer::{analyze_source, analyze_workspace, CheckOutcome, FileClass};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Parses the `//~ <rule>` markers out of a fixture: one expected
+/// `(line, rule)` entry per marker, repeatable on a single line.
+fn expected_findings(source: &str) -> Vec<(u32, String)> {
+    let mut expected = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        for part in line.split("//~").skip(1) {
+            let rule = part
+                .trim_start()
+                .split(|c: char| c.is_whitespace() || c == '/')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            assert!(!rule.is_empty(), "empty //~ marker on line {}", idx + 1);
+            expected.push((idx as u32 + 1, rule));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+fn actual_findings(outcome: &CheckOutcome) -> Vec<(u32, String)> {
+    let mut actual: Vec<(u32, String)> =
+        outcome.findings.iter().map(|f| (f.line, f.rule.clone())).collect();
+    actual.sort();
+    actual
+}
+
+/// Runs one marker-driven fixture and returns the outcome for extra checks.
+fn run_fixture(name: &str, class: FileClass) -> CheckOutcome {
+    let source = fixture(name);
+    let outcome = analyze_source(name, &source, &class);
+    let expected = expected_findings(&source);
+    let actual = actual_findings(&outcome);
+    assert_eq!(
+        actual, expected,
+        "findings for {name} diverge from its //~ markers\nrendered:\n{}",
+        outcome.findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+    outcome
+}
+
+#[test]
+fn nondeterministic_iteration_fixture() {
+    let outcome = run_fixture("nondet_iteration.rs", FileClass::default());
+    assert_eq!(outcome.suppressed, 1, "the allowed integer-sum walk is suppressed");
+}
+
+#[test]
+fn unwrap_in_lib_fixture() {
+    run_fixture("unwrap_in_lib.rs", FileClass { lib_crate: true, ..Default::default() });
+}
+
+#[test]
+fn unwrap_rule_is_scoped_to_lib_crates() {
+    // The same source scanned as a non-library file (e.g. the bench crate)
+    // raises nothing: panicking is only banned where callers can't opt out.
+    let source = fixture("unwrap_in_lib.rs");
+    let outcome = analyze_source("unwrap_in_lib.rs", &source, &FileClass::default());
+    assert!(outcome.findings.is_empty(), "unwrap-in-lib must not fire outside lib crates");
+}
+
+#[test]
+fn float_eq_fixture() {
+    run_fixture("float_eq.rs", FileClass::default());
+}
+
+#[test]
+fn banned_nondeterminism_fixture() {
+    run_fixture("banned_nondet.rs", FileClass::default());
+}
+
+#[test]
+fn timing_rule_is_waived_in_bench_crate() {
+    let source = fixture("banned_nondet.rs");
+    let outcome = analyze_source(
+        "banned_nondet.rs",
+        &source,
+        &FileClass { bench_crate: true, ..Default::default() },
+    );
+    // thread_rng and the seedless hashers still fire; the wall-clock half
+    // (Instant::now / SystemTime::now) is the bench crate's purpose.
+    assert!(
+        outcome.findings.iter().all(|f| !f.message.contains("wall clock")),
+        "Instant/SystemTime findings must be waived in the bench crate"
+    );
+    assert!(
+        outcome.findings.iter().any(|f| f.message.contains("thread_rng")),
+        "thread_rng stays banned even in the bench crate"
+    );
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    run_fixture("lossy_cast.rs", FileClass { hot_path: true, ..Default::default() });
+}
+
+#[test]
+fn lossy_cast_is_scoped_to_hot_paths() {
+    let source = fixture("lossy_cast.rs");
+    let outcome = analyze_source("lossy_cast.rs", &source, &FileClass::default());
+    assert!(outcome.findings.is_empty(), "lossy-cast only applies to hot-path files");
+}
+
+#[test]
+fn suppression_fixture() {
+    let outcome = run_fixture("suppression.rs", FileClass { lib_crate: true, ..Default::default() });
+    assert_eq!(outcome.suppressed, 2, "same-line and line-above allows each suppress once");
+}
+
+#[test]
+fn cfg_test_exemption_fixture() {
+    run_fixture("cfg_test_exempt.rs", FileClass { lib_crate: true, ..Default::default() });
+}
+
+#[test]
+fn crate_hygiene_missing_fixture() {
+    // The two hygiene findings anchor to line 1, which is a doc comment, so
+    // this fixture carries its expectations here instead of as markers.
+    let source = fixture("crate_hygiene_missing.rs");
+    let outcome = analyze_source(
+        "crate_hygiene_missing.rs",
+        &source,
+        &FileClass { crate_root: true, ..Default::default() },
+    );
+    let rendered: Vec<String> = outcome.findings.iter().map(|f| f.render()).collect();
+    assert_eq!(outcome.findings.len(), 2, "both attributes are missing: {rendered:?}");
+    assert!(rendered.iter().all(|r| r.contains(":1:crate-hygiene:")));
+    assert!(rendered.iter().any(|r| r.contains("deny(unsafe_code)")));
+    assert!(rendered.iter().any(|r| r.contains("warn(missing_docs)")));
+}
+
+#[test]
+fn crate_hygiene_ok_fixture() {
+    let source = fixture("crate_hygiene_ok.rs");
+    let outcome = analyze_source(
+        "crate_hygiene_ok.rs",
+        &source,
+        &FileClass { crate_root: true, ..Default::default() },
+    );
+    assert!(outcome.findings.is_empty(), "both attributes present: {:?}", outcome.findings);
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    // The gate's bottom line: the workspace this analyzer ships in passes
+    // its own scan with zero findings. CARGO_MANIFEST_DIR is
+    // crates/analyzer, so the workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(rendered.is_empty(), "workspace must self-scan clean:\n{}", rendered.join("\n"));
+    assert!(report.files_scanned > 50, "scan should cover the whole workspace");
+}

@@ -28,14 +28,15 @@ impl KMeans {
         let k = k.min(n);
         let d = points.cols();
 
-        // k-means++ seeding.
+        // k-means++ seeding. The most recent center is carried separately
+        // (pushed into `center_rows` once the next one is drawn) so no
+        // `.last().expect(…)` is needed to read it back.
         let mut center_rows: Vec<Vec<f64>> = Vec::with_capacity(k);
-        center_rows.push(points.row(rng.index(n)).to_vec());
+        let mut latest = points.row(rng.index(n)).to_vec();
         let mut dist_sq = vec![f64::INFINITY; n];
-        while center_rows.len() < k {
-            let latest = center_rows.last().expect("non-empty");
+        while center_rows.len() + 1 < k {
             for (i, row) in points.iter_rows().enumerate() {
-                dist_sq[i] = dist_sq[i].min(vector::dist2(row, latest));
+                dist_sq[i] = dist_sq[i].min(vector::dist2(row, &latest));
             }
             let total: f64 = dist_sq.iter().sum();
             let next = if total <= 0.0 {
@@ -52,9 +53,11 @@ impl KMeans {
                 }
                 chosen
             };
-            center_rows.push(points.row(next).to_vec());
+            center_rows.push(std::mem::replace(&mut latest, points.row(next).to_vec()));
         }
+        center_rows.push(latest);
 
+        // analyzer:allow(unwrap-in-lib): rows are all `points.cols()` wide by construction
         let mut centers = Matrix::from_rows(&center_rows).expect("rectangular centers");
         // Start from a sentinel so the first pass always runs the update
         // step (otherwise an all-zeros initial assignment could terminate

@@ -38,6 +38,7 @@ impl LabeledPool {
     /// Panics if the feature dimension disagrees with earlier samples
     /// (programming error in the protocol plumbing).
     pub fn push(&mut self, x: Vec<f64>, label: usize, sensitive: i8) {
+        // analyzer:allow(unwrap-in-lib): documented panic contract (see `# Panics` above)
         self.features.push_row(&x).expect("pool rows share one dimension");
         self.labels.push(label);
         self.sensitives.push(sensitive);

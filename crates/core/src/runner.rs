@@ -115,6 +115,10 @@ pub fn run_experiment(
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> RunRecord {
+    // Wall-clock in this function is *measured output* for the Fig. 5
+    // runtime decomposition; it never feeds control flow, so algorithmic
+    // results stay seed-deterministic.
+    // analyzer:allow(banned-nondeterminism): reporting-only run timer
     let run_start = Instant::now();
     let mut rng = SeedRng::new(seed ^ 0x5EED_F00D);
     let mut pool = LabeledPool::new();
@@ -137,6 +141,7 @@ pub fn run_experiment(
     let mut candidate_sensitives: Vec<i8> = Vec::new();
 
     for task in &stream.tasks {
+        // analyzer:allow(banned-nondeterminism): reporting-only task timer
         let task_start = Instant::now();
         let (accuracy, ddp, eod, mi, calibration_gap) = evaluate(&model, task);
 
@@ -155,6 +160,7 @@ pub fn run_experiment(
             // The candidate feature/sensitive buffers are reused across
             // rounds — the unlabeled set only shrinks, so after round one
             // these fills allocate nothing.
+            // analyzer:allow(banned-nondeterminism): reporting-only selection timer
             let select_start = Instant::now();
             task.features_of_into(&unlabeled, &mut candidates);
             candidate_sensitives.clear();
@@ -187,6 +193,7 @@ pub fn run_experiment(
             unlabeled.retain(|i| !picked_global.contains(i));
 
             // Retrain on the enlarged pool (Algorithm 1, lines 7–8).
+            // analyzer:allow(banned-nondeterminism): reporting-only training timer
             let train_start = Instant::now();
             model.retrain(&pool, loss.as_ref());
             training_seconds += train_start.elapsed().as_secs_f64();

@@ -235,8 +235,13 @@ pub fn run_theory_experiment(cfg: &TheoryConfig, horizon: usize, seed: u64) -> T
     let (mut regret, mut violation, mut queries) = (0.0, 0.0, 0.0);
     let mut dual = cfg.loss.mu; // λ_0
     // One fixed fair comparator per environment (the `m` disjoint subsets
-    // {I_u} of Theorem 1), trained on the environment's first task.
-    let mut comparators: std::collections::HashMap<usize, Mlp> = std::collections::HashMap::new();
+    // {I_u} of Theorem 1), trained on the environment's first task. Kept in
+    // a sorted map so the harness stays order-deterministic even if a
+    // future change walks the comparator set (a `HashMap` here is exactly
+    // the iteration-order trap the analyzer's nondeterministic-iteration
+    // rule exists to catch).
+    let mut comparators: std::collections::BTreeMap<usize, Mlp> =
+        std::collections::BTreeMap::new();
     let mut queried: Vec<Vec<f64>> = Vec::new();
 
     for (t, task) in stream.tasks.iter().enumerate() {
@@ -366,6 +371,24 @@ mod tests {
             late < early,
             "late-window queries {late} must be below early cumulative {early}"
         );
+    }
+
+    #[test]
+    fn dynamic_regret_runs_are_byte_identical() {
+        // Two invocations with the same seed must produce *byte-identical*
+        // serialized curves — the property the analyzer gate protects. Use
+        // a multi-environment config so the per-environment comparator map
+        // is actually exercised.
+        let cfg = TheoryConfig {
+            samples_per_task: 40,
+            environments: 3,
+            ..Default::default()
+        };
+        let a = run_theory_experiment(&cfg, 12, 9);
+        let b = run_theory_experiment(&cfg, 12, 9);
+        let ja = serde_json::to_string(&a).expect("serialize run A");
+        let jb = serde_json::to_string(&b).expect("serialize run B");
+        assert_eq!(ja.as_bytes(), jb.as_bytes(), "regret curves must replay exactly");
     }
 
     #[test]

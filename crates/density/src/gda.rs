@@ -4,7 +4,7 @@
 //! Discriminant Analysis over feature vectors — following the paper's choice
 //! of GDA / GMM over Gaussian processes or normalizing flows ([18], [46]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use faction_linalg::{vector, Matrix};
 
@@ -131,7 +131,12 @@ impl FairDensityEstimator {
         if sensitive.len() != n {
             return Err(DensityError::DimensionMismatch { expected: n, got: sensitive.len() });
         }
-        let mut groups: HashMap<ComponentKey, Vec<usize>> = HashMap::new();
+        // Keyed by `ComponentKey` in a *sorted* map: with the previous
+        // `HashMap`, the pooled-covariance path below accumulated centered
+        // rows in per-process hash order, so the covariance's float sums —
+        // and every density derived from them — could differ between two
+        // runs of the same experiment.
+        let mut groups: BTreeMap<ComponentKey, Vec<usize>> = BTreeMap::new();
         for i in 0..n {
             let key = ComponentKey { class: labels[i], sensitive: sensitive[i] };
             groups.entry(key).or_default().push(i);
@@ -169,7 +174,8 @@ impl FairDensityEstimator {
             let log_prior = (indices.len() as f64 / n as f64).ln();
             components.push((key, gaussian, log_prior));
         }
-        components.sort_by_key(|(key, _, _)| *key);
+        // BTreeMap iteration is already key-sorted, which is exactly the
+        // component order the struct documents.
         Ok(FairDensityEstimator {
             dim: features.cols(),
             num_classes,

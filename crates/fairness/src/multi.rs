@@ -101,7 +101,7 @@ pub fn mutual_information_multi(preds: &[usize], sensitive: &[i8]) -> f64 {
     let mut py = [0.0f64; 2];
     for (&p, &s) in preds.iter().zip(sensitive) {
         let yi = p.min(1);
-        joint.get_mut(&s).expect("group present")[yi] += 1.0;
+        joint.entry(s).or_insert([0.0; 2])[yi] += 1.0;
         py[yi] += 1.0;
     }
     let mut mi = 0.0;

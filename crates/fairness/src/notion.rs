@@ -60,6 +60,7 @@ impl RelaxedFairness {
         let mask: Vec<bool> = match self.notion {
             FairnessNotion::DemographicParity => vec![true; n],
             FairnessNotion::EqualOpportunity => {
+                // analyzer:allow(unwrap-in-lib): documented panic contract (see `# Panics` above)
                 let labels = labels.expect("EqualOpportunity requires labels");
                 assert_eq!(labels.len(), n, "labels length mismatch");
                 labels.iter().map(|&y| y == 1).collect()

@@ -250,6 +250,7 @@ impl Cholesky {
     pub fn reconstruct(&self) -> Matrix {
         self.l
             .matmul(&self.l.transpose())
+            // analyzer:allow(unwrap-in-lib): L is square, so L·Lᵀ cannot shape-mismatch
             .expect("factor is square; product cannot fail")
     }
 }

@@ -23,7 +23,11 @@
 //! or not a given build dispatches to the blocked path.
 //!
 //! All functions take raw row-major slices plus dimensions; the `Matrix`
-//! methods in [`crate::matrix`] do shape checking and call in here.
+//! methods in [`crate::matrix`] do shape checking and call in here. The
+//! kernels additionally `assert_eq!` their slice lengths in *release*
+//! builds: the checks are O(1) against O(m·n·k) work, and a shape bug in a
+//! direct kernel call must fail loudly instead of reading logically
+//! adjacent memory.
 
 /// Rows of `A` packed per micro-panel (register-tile height).
 pub const MR: usize = 4;
@@ -41,9 +45,9 @@ const SMALL_VOLUME: usize = 16 * 16 * 16;
 ///
 /// `a` is `m×k`, `b` is `k×n`, `out` is `m×n`, all row-major.
 pub fn matmul_simple(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -61,9 +65,9 @@ pub fn matmul_simple(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, 
 /// Dispatches small problems to [`matmul_simple`]; the result is
 /// bit-identical either way (see module docs).
 pub fn matmul_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
     if m * k * n <= SMALL_VOLUME || n < NR {
         matmul_simple(a, b, out, m, k, n);
         return;
@@ -171,9 +175,9 @@ fn kernel_edge(
 /// operands row-contiguously and keeps per-element ascending-k order, so it
 /// is bit-identical to `a.transpose().matmul(b)`.
 pub fn matmul_tn_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
     for kk in 0..k {
         let a_row = &a[kk * m..(kk + 1) * m];
         let b_row = &b[kk * n..(kk + 1) * n];
@@ -192,9 +196,9 @@ pub fn matmul_tn_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize,
 /// backprop `dx = δ · wᵀ` shape; each output element is a contiguous
 /// row·row dot, bit-identical to `a.matmul(&b.transpose())`.
 pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(out.len(), m * n);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -210,8 +214,8 @@ pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize,
 /// within a tile that fits in L1, instead of streaming the whole output
 /// column-by-column.
 pub fn transpose_into(a: &[f64], out: &mut [f64], m: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * n);
-    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(a.len(), m * n);
+    assert_eq!(out.len(), m * n);
     const TB: usize = 32;
     let mut rb = 0;
     while rb < m {

@@ -168,6 +168,7 @@ pub fn block_rotation(d: usize, angle_rad: f64) -> Matrix {
     let mut axis = 0;
     while axis + 1 < d {
         let r = plane_rotation(d, axis, axis + 1, angle_rad);
+        // analyzer:allow(unwrap-in-lib): both factors are d×d plane rotations
         m = r.matmul(&m).expect("square rotation product");
         axis += 2;
     }

@@ -83,6 +83,7 @@ impl Dense {
     /// Panics if `x.cols() != fan_in` (programming error in model wiring).
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         out.reset_to_zeros(x.rows(), self.fan_out());
+        // analyzer:allow(unwrap-in-lib): documented panic contract (see `# Panics` above)
         x.matmul_into(&self.w, out).expect("dense forward shape");
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -108,11 +109,13 @@ impl Dense {
     /// gradient buffers and `dx`.
     pub fn backward_into(&mut self, x: &Matrix, delta: &Matrix, dx: &mut Matrix) {
         debug_assert_eq!(x.rows(), delta.rows(), "batch size mismatch");
+        // analyzer:allow(unwrap-in-lib): gradient buffers are layer-shaped by construction
         x.matmul_tn_into(delta, &mut self.grad_w).expect("dense backward shape");
         for c in 0..delta.cols() {
             self.grad_b[c] = (0..delta.rows()).map(|r| delta.get(r, c)).sum();
         }
         dx.reset_to_zeros(delta.rows(), self.fan_in());
+        // analyzer:allow(unwrap-in-lib): `dx` reset to the matching shape on the line above
         delta.matmul_nt_into(&self.w, dx).expect("dense backward dX shape");
     }
 

@@ -9,6 +9,7 @@ use faction_linalg::{Matrix, SeedRng};
 pub fn he_normal(rng: &mut SeedRng, fan_in: usize, fan_out: usize) -> Matrix {
     let std = (2.0 / fan_in.max(1) as f64).sqrt();
     let data = (0..fan_in * fan_out).map(|_| rng.normal(0.0, std)).collect();
+    // analyzer:allow(unwrap-in-lib): buffer built with exactly fan_in·fan_out elements
     Matrix::from_vec(fan_in, fan_out, data).expect("sized buffer")
 }
 
@@ -19,6 +20,7 @@ pub fn xavier_uniform(rng: &mut SeedRng, fan_in: usize, fan_out: usize) -> Matri
     let data = (0..fan_in * fan_out)
         .map(|_| rng.uniform_range(-limit, limit))
         .collect();
+    // analyzer:allow(unwrap-in-lib): buffer built with exactly fan_in·fan_out elements
     Matrix::from_vec(fan_in, fan_out, data).expect("sized buffer")
 }
 

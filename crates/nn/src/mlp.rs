@@ -116,6 +116,7 @@ impl Mlp {
 
     /// Number of output classes.
     pub fn num_classes(&self) -> usize {
+        // analyzer:allow(unwrap-in-lib): `Mlp::new` rejects empty architectures
         self.layers.last().expect("non-empty").fan_out()
     }
 

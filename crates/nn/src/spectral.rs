@@ -42,10 +42,12 @@ pub fn estimate_sigma(w: &Matrix, u: &mut [f64], iterations: u32) -> f64 {
     let mut v = vec![0.0; w.cols()];
     for _ in 0..iterations.max(1) {
         // v ← normalize(Wᵀ u)
+        // analyzer:allow(unwrap-in-lib): `u`/`v` sized to `w` at entry (asserted above)
         v = w.tr_matvec(u).expect("shape checked");
         let nv = vector::norm2(&v).max(f64::MIN_POSITIVE);
         vector::scale(&mut v, 1.0 / nv);
         // u ← normalize(W v)
+        // analyzer:allow(unwrap-in-lib): `v` has `w.cols()` entries by construction
         let new_u = w.matvec(&v).expect("shape checked");
         let nu = vector::norm2(&new_u).max(f64::MIN_POSITIVE);
         for (ui, &nui) in u.iter_mut().zip(&new_u) {
@@ -53,6 +55,7 @@ pub fn estimate_sigma(w: &Matrix, u: &mut [f64], iterations: u32) -> f64 {
         }
     }
     // σ ≈ uᵀ W v.
+    // analyzer:allow(unwrap-in-lib): `v` has `w.cols()` entries by construction
     let wv = w.matvec(&v).expect("shape checked");
     vector::dot(u, &wv)
 }

@@ -1,19 +1,48 @@
 #!/usr/bin/env bash
-# One-shot pre-commit gate: build, tests, lints, and a perf-harness smoke
-# run. Everything runs from the repo root regardless of invocation cwd.
+# One-shot pre-commit gate: build, tests, lints, the determinism/numerics
+# analyzer, and a perf-harness smoke run. Everything runs from the repo
+# root regardless of invocation cwd, and a per-stage timing table prints
+# at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+STAGE_NAMES=()
+STAGE_SECS=()
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+run_stage() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    local t0 t1
+    t0=$(date +%s)
+    "$@"
+    t1=$(date +%s)
+    STAGE_NAMES+=("${name}")
+    STAGE_SECS+=($((t1 - t0)))
+}
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+run_stage "cargo build --release" \
+    cargo build --release
 
-echo "==> perf_report --quick (smoke)"
-cargo run -p faction-bench --release --bin perf_report -- --quick
+run_stage "cargo test -q --workspace" \
+    cargo test -q --workspace
 
+run_stage "cargo clippy --workspace -- -D warnings" \
+    cargo clippy --workspace -- -D warnings
+
+# Blocking static-analysis gate: any finding (HashMap iteration, lib-crate
+# unwrap, float ==, ambient RNG/clock, narrowing cast in kernels, missing
+# crate-root hygiene attrs) fails the script. Suppressions need a
+# `// analyzer:allow(<rule>): <reason>` comment at the site.
+run_stage "faction-analyzer (determinism & numerics lint)" \
+    cargo run -q -p faction-analyzer --release
+
+run_stage "perf_report --quick (smoke)" \
+    cargo run -p faction-bench --release --bin perf_report -- --quick
+
+echo
 echo "==> all checks passed"
+echo "    stage timings:"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %4ss  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+done

@@ -43,6 +43,9 @@
 //! See `examples/` for runnable scenarios and `DESIGN.md` for the full
 //! experiment index.
 
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
 pub use faction_core as core;
 pub use faction_data as data;
 pub use faction_density as density;
