@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 use crate::rules::FileClass;
 
 /// Crates where `unwrap-in-lib` applies: the reusable library layers.
-const LIB_CRATES: &[&str] = &["linalg", "density", "nn", "fairness", "data", "core"];
+const LIB_CRATES: &[&str] = &["linalg", "density", "nn", "fairness", "data", "core", "engine"];
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
@@ -120,5 +120,7 @@ mod tests {
         assert!(c.crate_root && !c.lib_crate && !c.bench_crate);
         let c = classify("analyzer", "crates/analyzer/src/rules.rs");
         assert!(!c.lib_crate && !c.crate_root);
+        let c = classify("engine", "crates/engine/src/pool.rs");
+        assert!(c.lib_crate && !c.bench_crate && !c.crate_root && !c.hot_path);
     }
 }

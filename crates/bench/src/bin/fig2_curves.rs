@@ -24,6 +24,7 @@ fn main() {
             &standard_arch,
             &cfg,
             options.seeds,
+            options.jobs,
         );
         text.push_str(&format!("==== {} ====\n", dataset.name()));
         text.push_str(&render_curves(&aggregated, "accuracy (higher better)", |t| t.accuracy));

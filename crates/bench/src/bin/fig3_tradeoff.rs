@@ -47,6 +47,7 @@ fn sweep_point(
         &standard_arch,
         &cfg,
         options.seeds,
+        options.jobs,
     );
     let run: &AggregatedRun = &aggregated[0];
     // Mean/std across seeds, averaged over tasks.

@@ -48,6 +48,7 @@ fn main() {
             &standard_arch,
             &cfg,
             options.seeds,
+            options.jobs,
         );
         if extended {
             // Disambiguate the shared-covariance variant's display name

@@ -85,6 +85,7 @@ fn main() {
                 &standard_arch,
                 &cfg,
                 options.seeds,
+                options.jobs,
             );
             let seconds = aggregated[0].mean_total_seconds;
             text.push_str(&format!("{:<16} {:<32} {:>12.2}\n", dataset.name(), label, seconds));

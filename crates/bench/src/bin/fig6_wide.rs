@@ -25,6 +25,7 @@ fn main() {
         &wide_arch,
         &cfg,
         options.seeds,
+        options.jobs,
     );
     let mut text = String::from("==== CelebA, wide architecture (WRN-50 stand-in) ====\n");
     text.push_str(&render_curves(&aggregated, "accuracy (higher better)", |t| t.accuracy));

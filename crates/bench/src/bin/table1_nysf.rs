@@ -53,6 +53,7 @@ fn main() {
             &standard_arch,
             &cfg,
             options.seeds,
+            options.jobs,
         );
         runs[0].strategy = (*label).into();
         aggregated.extend(runs);

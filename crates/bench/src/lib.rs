@@ -4,9 +4,11 @@
 //! FACTION paper (see `DESIGN.md` §4 for the index). They share:
 //!
 //! * [`HarnessOptions`] — a minimal CLI (`--quick`, `--seeds N`,
-//!   `--dataset NAME`, `--out DIR`);
+//!   `--dataset NAME`, `--out DIR`, `--jobs N`);
 //! * [`run_lineup`] — "run these strategies on this stream across seeds and
-//!   aggregate" — the inner loop of every figure;
+//!   aggregate" — the inner loop of every figure, fanned out over the
+//!   `faction-engine` thread pool when `--jobs > 1` (results are identical
+//!   for every worker count — see `DESIGN.md` §8);
 //! * [`write_output`] — persist the human-readable table and the
 //!   machine-readable JSON under `results/`.
 
@@ -15,6 +17,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use faction_core::report::AggregatedRun;
 use faction_core::{run_experiment, ExperimentConfig, Strategy};
@@ -23,8 +26,9 @@ use faction_data::{Scale, TaskStream};
 use faction_nn::MlpConfig;
 
 /// A factory producing a fresh strategy instance per seed (strategies are
-/// stateful across a run, so each seed gets its own).
-pub type StrategyFactory = Box<dyn Fn() -> Box<dyn Strategy>>;
+/// stateful across a run, so each seed gets its own). `Sync` so the engine
+/// pool can invoke factories from worker threads.
+pub type StrategyFactory = Box<dyn Fn() -> Box<dyn Strategy> + Sync>;
 
 /// Parsed harness command line.
 #[derive(Debug, Clone)]
@@ -37,6 +41,10 @@ pub struct HarnessOptions {
     pub dataset: Option<Dataset>,
     /// Output directory for `.txt` / `.json` results.
     pub out_dir: PathBuf,
+    /// Engine worker threads for the run fan-out (`--jobs N`, `0` = auto;
+    /// default 1 keeps historical single-threaded behavior). Results are
+    /// byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl HarnessOptions {
@@ -47,6 +55,7 @@ impl HarnessOptions {
             seeds: 5,
             dataset: None,
             out_dir: PathBuf::from("results"),
+            jobs: 1,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -70,11 +79,16 @@ impl HarnessOptions {
                     let v = args.next().expect("--out needs a value");
                     options.out_dir = PathBuf::from(v);
                 }
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a value");
+                    let requested: usize = v.parse().expect("--jobs must be an integer");
+                    options.jobs = faction_engine::resolve_workers(Some(requested));
+                }
                 other if !other.starts_with("--") => {
                     // Positional argument (e.g. fig5's `fair` / `ablation`
                     // selector) — left for the binary to re-read.
                 }
-                other => panic!("unknown flag '{other}' (try --quick/--seeds/--dataset/--out)"),
+                other => panic!("unknown flag '{other}' (try --quick/--seeds/--dataset/--out/--jobs)"),
             }
         }
         options
@@ -111,24 +125,46 @@ impl HarnessOptions {
 /// aggregates across seeds. The architecture is rebuilt per seed via
 /// `arch_for_seed` so weight initialization varies with the repetition, as
 /// in the paper's five-run protocol.
+///
+/// With `jobs > 1` the (factory × seed) grid is fanned out over the
+/// `faction-engine` work-stealing pool. Every run is a pure function of
+/// `(stream, strategy, arch, seed)`, and results land in a slot table
+/// indexed by grid position, so the aggregated output is identical to the
+/// sequential nested loop for every worker count.
 pub fn run_lineup(
-    stream_for_seed: &dyn Fn(u64) -> TaskStream,
+    stream_for_seed: &(dyn Fn(u64) -> TaskStream + Sync),
     factories: &[StrategyFactory],
-    arch_for_seed: &dyn Fn(&TaskStream, u64) -> MlpConfig,
+    arch_for_seed: &(dyn Fn(&TaskStream, u64) -> MlpConfig + Sync),
     cfg: &ExperimentConfig,
     seeds: u64,
+    jobs: usize,
 ) -> Vec<AggregatedRun> {
+    let grid: Vec<(usize, u64)> =
+        (0..factories.len()).flat_map(|f| (0..seeds).map(move |s| (f, s))).collect();
+    let slots: Vec<Mutex<Option<faction_core::RunRecord>>> =
+        grid.iter().map(|_| Mutex::new(None)).collect();
+
+    faction_engine::scoped_for_each(jobs, &grid, |slot, &(factory_idx, seed)| {
+        let stream = stream_for_seed(seed);
+        let arch = arch_for_seed(&stream, seed);
+        let mut strategy = factories[factory_idx]();
+        let record = run_experiment(&stream, strategy.as_mut(), &arch, cfg, seed);
+        *slots[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(record);
+    });
+
+    let mut records: Vec<faction_core::RunRecord> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every grid slot is filled by the pool")
+        })
+        .collect();
     factories
         .iter()
-        .map(|factory| {
-            let runs: Vec<_> = (0..seeds)
-                .map(|seed| {
-                    let stream = stream_for_seed(seed);
-                    let arch = arch_for_seed(&stream, seed);
-                    let mut strategy = factory();
-                    run_experiment(&stream, strategy.as_mut(), &arch, cfg, seed)
-                })
-                .collect();
+        .map(|_| {
+            let rest = records.split_off(seeds as usize);
+            let runs = std::mem::replace(&mut records, rest);
             AggregatedRun::from_runs(&runs)
         })
         .collect()
@@ -222,7 +258,7 @@ mod tests {
         let arch = |stream: &TaskStream, seed: u64| {
             faction_nn::presets::tiny(stream.input_dim, stream.num_classes, seed)
         };
-        let aggregated = run_lineup(&stream_for_seed, &factories, &arch, &cfg, 2);
+        let aggregated = run_lineup(&stream_for_seed, &factories, &arch, &cfg, 2, 2);
         assert_eq!(aggregated.len(), 2);
         assert_eq!(aggregated[0].strategy, "Random");
         assert_eq!(aggregated[1].strategy, "Entropy-AL");

@@ -38,6 +38,15 @@ pub enum CheckpointError {
     Io(std::io::Error),
     /// (De)serialization failure.
     Serde(serde_json::Error),
+    /// A checkpoint *file* that exists but does not parse — truncated by a
+    /// crash mid-write, hand-edited, or not a checkpoint at all. Carries
+    /// the path so the operator knows which file to delete or restore.
+    Corrupt {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// Parser detail (what failed, where).
+        detail: String,
+    },
     /// The file's version field is newer than this library understands.
     UnsupportedVersion(u32),
 }
@@ -47,6 +56,12 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
             CheckpointError::Serde(e) => write!(f, "checkpoint serialization error: {e}"),
+            CheckpointError::Corrupt { path, detail } => write!(
+                f,
+                "checkpoint file {} is corrupt or truncated ({detail}); \
+                 delete it to restart from scratch",
+                path.display()
+            ),
             CheckpointError::UnsupportedVersion(v) => {
                 write!(f, "unsupported checkpoint version {v} (this build supports ≤ {CURRENT_VERSION})")
             }
@@ -70,6 +85,42 @@ impl From<serde_json::Error> for CheckpointError {
 
 /// Current checkpoint format version.
 pub const CURRENT_VERSION: u32 = 1;
+
+/// Writes `contents` to `path` crash-safely: the bytes go to a `.tmp`
+/// sibling first (suffixed with the writer's pid so concurrent engine
+/// processes sharing a checkpoint directory cannot clobber each other's
+/// staging files), are fsynced, and only then renamed into place.
+/// `fs::rename` within a directory is atomic on POSIX, so a job killed at
+/// any instant leaves either the old complete file or the new complete
+/// file — never a torn one.
+fn atomic_write(path: &Path, contents: &str) -> Result<(), CheckpointError> {
+    use std::io::Write;
+    let mut file_name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    file_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(file_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Flush to stable storage before the rename publishes the file;
+        // otherwise a power loss could promote an empty inode.
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e));
+    }
+    Ok(())
+}
+
+/// Reads and parses a checkpoint-family JSON file, mapping parse failures
+/// to [`CheckpointError::Corrupt`] so the message names the file.
+fn read_json_file<T: serde::Deserialize>(path: &Path) -> Result<T, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })
+}
 
 impl Checkpoint {
     /// Captures the learner's state.
@@ -103,24 +154,73 @@ impl Checkpoint {
         Ok(checkpoint)
     }
 
-    /// Writes the checkpoint to `path` atomically (write-then-rename).
+    /// Writes the checkpoint to `path` crash-safely: staged to a fsynced
+    /// `.tmp` sibling, then atomically renamed into place, so a process
+    /// killed mid-write can never leave a torn checkpoint at `path`.
     ///
     /// # Errors
     /// Propagates filesystem and serialization failures.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let json = self.to_json()?;
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, json)?;
-        fs::rename(&tmp, path)?;
-        Ok(())
+        atomic_write(path, &self.to_json()?)
     }
 
-    /// Reads a checkpoint from `path`.
+    /// Reads a checkpoint from `path`. A file that exists but does not
+    /// parse — e.g. truncated by a crash predating crash-safe saves — is
+    /// rejected as [`CheckpointError::Corrupt`] naming the path.
     ///
     /// # Errors
     /// Propagates filesystem and format failures.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        Self::from_json(&fs::read_to_string(path)?)
+        let checkpoint: Checkpoint = read_json_file(path)?;
+        if checkpoint.version > CURRENT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(checkpoint.version));
+        }
+        Ok(checkpoint)
+    }
+}
+
+/// A finished run's result, persisted per job by the execution engine so an
+/// interrupted grid resumes without repeating completed work.
+///
+/// Job-granularity resume is *exactly* deterministic: the stored
+/// [`RunRecord`] is the completed job's output, so resuming cannot perturb
+/// RNG streams the way mid-run model restoration would (see the module docs
+/// on why RNG position is not checkpointed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The completed run.
+    pub record: crate::runner::RunRecord,
+}
+
+impl RunCheckpoint {
+    /// Wraps a completed run for persistence.
+    pub fn capture(record: &crate::runner::RunRecord) -> RunCheckpoint {
+        RunCheckpoint { version: CURRENT_VERSION, record: record.clone() }
+    }
+
+    /// Writes crash-safely (staged `.tmp` sibling + atomic rename), like
+    /// [`Checkpoint::save`].
+    ///
+    /// # Errors
+    /// Propagates filesystem and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        atomic_write(path, &serde_json::to_string(self)?)
+    }
+
+    /// Reads a run checkpoint, rejecting torn files and newer versions.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] for missing files, [`CheckpointError::Corrupt`]
+    /// for unparseable ones, [`CheckpointError::UnsupportedVersion`] for
+    /// newer formats.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let ckpt: RunCheckpoint = read_json_file(path)?;
+        if ckpt.version > CURRENT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(ckpt.version));
+        }
+        Ok(ckpt)
     }
 }
 
@@ -201,6 +301,79 @@ mod tests {
     fn missing_file_is_io_error() {
         let missing = std::env::temp_dir().join("faction_no_such_checkpoint.json");
         assert!(matches!(Checkpoint::load(&missing), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_with_clear_error() {
+        // A file torn mid-write (as a pre-crash-safe save could leave) must
+        // be rejected by an error that names the offending path.
+        let (mlp, pool) = trained_state();
+        let dir = std::env::temp_dir().join("faction_checkpoint_truncated_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        Checkpoint::capture(&mlp, &pool, 3).save(&path).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "got {err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("ckpt.json"), "message should name the file: {msg}");
+        assert!(msg.contains("corrupt or truncated"), "message should say why: {msg}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_staging_file_behind() {
+        let (mlp, pool) = trained_state();
+        let dir = std::env::temp_dir().join("faction_checkpoint_staging_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        Checkpoint::capture(&mlp, &pool, 1).save(&path).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left behind: {leftovers:?}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_checkpoint_roundtrip_and_truncation() {
+        use crate::runner::{RunRecord, TaskRecord};
+        let record = RunRecord {
+            strategy: "Random".into(),
+            dataset: "NYSF".into(),
+            seed: 5,
+            records: vec![TaskRecord {
+                task_id: 0,
+                env_name: "e0".into(),
+                accuracy: 0.75,
+                ddp: 0.1,
+                eod: 0.05,
+                mi: 0.01,
+                calibration_gap: 0.0,
+                queries: 12,
+                seconds: 1.5,
+                selection_seconds: 0.5,
+                training_seconds: 0.9,
+            }],
+            total_seconds: 1.5,
+        };
+        let dir = std::env::temp_dir().join("faction_run_checkpoint_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("NYSF-random-s5.run.json");
+        RunCheckpoint::capture(&record).save(&path).unwrap();
+        let restored = RunCheckpoint::load(&path).unwrap();
+        assert_eq!(restored.version, CURRENT_VERSION);
+        assert_eq!(restored.record.seed, 5);
+        assert_eq!(restored.record.records.len(), 1);
+        assert_eq!(restored.record.records[0].queries, 12);
+        // Torn run checkpoints are rejected, not silently resumed.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 3]).unwrap();
+        assert!(matches!(RunCheckpoint::load(&path), Err(CheckpointError::Corrupt { .. })));
+        fs::remove_file(&path).ok();
     }
 
     #[test]

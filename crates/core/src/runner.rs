@@ -76,6 +76,27 @@ impl RunRecord {
         }
         self.records.iter().map(&metric).sum::<f64>() / self.records.len() as f64
     }
+
+    /// A copy with every wall-clock timing field zeroed.
+    ///
+    /// Timing fields (`total_seconds`, per-task `seconds` /
+    /// `selection_seconds` / `training_seconds`) are *measurement output*:
+    /// they vary run to run and machine to machine by construction. Every
+    /// algorithmic field — metrics, queries, environments, ordering — is a
+    /// pure function of `(dataset, strategy, seed, config)`. Canonicalizing
+    /// makes that contract checkable: serialized canonical records of the
+    /// same grid must be byte-identical whether the grid ran sequentially
+    /// or on eight engine workers.
+    pub fn canonicalized(&self) -> RunRecord {
+        let mut out = self.clone();
+        out.total_seconds = 0.0;
+        for r in &mut out.records {
+            r.seconds = 0.0;
+            r.selection_seconds = 0.0;
+            r.training_seconds = 0.0;
+        }
+        out
+    }
 }
 
 /// Evaluates the current model on a full task.
@@ -357,5 +378,33 @@ mod tests {
         };
         assert!((record.mean_of(|r| r.accuracy) - 0.6).abs() < 1e-12);
         assert!((record.mean_of(|r| r.ddp) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicalized_zeroes_only_timing() {
+        let stream = tiny_stream();
+        let cfg = tiny_cfg();
+        let arch = faction_nn::presets::tiny(stream.input_dim, 2, 0);
+        let record = run_experiment(&stream, &mut EntropyAl, &arch, &cfg, 3);
+        let canon = record.canonicalized();
+        assert_eq!(canon.total_seconds, 0.0);
+        for (orig, c) in record.records.iter().zip(&canon.records) {
+            assert_eq!(c.seconds, 0.0);
+            assert_eq!(c.selection_seconds, 0.0);
+            assert_eq!(c.training_seconds, 0.0);
+            assert_eq!(orig.accuracy, c.accuracy);
+            assert_eq!(orig.ddp, c.ddp);
+            assert_eq!(orig.eod, c.eod);
+            assert_eq!(orig.mi, c.mi);
+            assert_eq!(orig.queries, c.queries);
+            assert_eq!(orig.env_name, c.env_name);
+        }
+        // Canonical serialization of two identically-seeded runs is
+        // byte-identical even though their wall-clock timings differ.
+        let again = run_experiment(&stream, &mut EntropyAl, &arch, &cfg, 3);
+        assert_eq!(
+            serde_json::to_string(&canon).unwrap(),
+            serde_json::to_string(&again.canonicalized()).unwrap()
+        );
     }
 }

@@ -168,6 +168,40 @@ mod tests {
     }
 
     #[test]
+    fn all_non_finite_stream_behaves_like_empty() {
+        // A stream that never produces a finite score must leave the range
+        // unset: every probe normalizes to 0 (desirability 1), exactly the
+        // cold-start convention, and nothing is NaN.
+        let mut n = StreamingNormalizer::new();
+        for score in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            n.observe(score);
+        }
+        assert_eq!(n.count(), 4);
+        assert_eq!(n.normalize(3.0), 0.0);
+        assert_eq!(n.desirability(3.0), 1.0);
+        assert!(n.normalize(f64::NAN) == 0.0, "probing with NaN must not leak NaN");
+    }
+
+    #[test]
+    fn collapsed_range_maps_everything_to_zero() {
+        // lo == hi (one observation, or a constant stream): no spread means
+        // no information, so every score — equal, above, below — maps to 0
+        // rather than dividing by zero.
+        let mut n = StreamingNormalizer::new();
+        n.observe(4.0);
+        assert_eq!(n.normalize(4.0), 0.0);
+        assert_eq!(n.normalize(100.0), 0.0);
+        assert_eq!(n.normalize(-100.0), 0.0);
+        n.observe(4.0);
+        n.observe(4.0);
+        assert_eq!(n.normalize(4.0), 0.0);
+        assert_eq!(n.desirability(4.0), 1.0);
+        // The first differing score restores a real range.
+        n.observe(6.0);
+        assert!((n.normalize(5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn selector_respects_budget() {
         let mut rng = SeedRng::new(1);
         let mut selector = StreamingSelector::new(10.0, 3);

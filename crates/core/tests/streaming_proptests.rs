@@ -1,0 +1,70 @@
+//! Property-based tests for the streaming normalizer (paper Sec. IV-D).
+//!
+//! The core invariant: the final range — and therefore every normalized
+//! value — depends only on the *set* of scores observed, never on the
+//! order they arrived in. That is what makes the one-pass selector's
+//! normalization agree with the batch normalizer once the batch has been
+//! seen, regardless of arrival order.
+
+use faction_core::streaming::StreamingNormalizer;
+use proptest::prelude::*;
+
+fn observe_all(scores: &[f64]) -> StreamingNormalizer {
+    let mut n = StreamingNormalizer::new();
+    for &s in scores {
+        n.observe(s);
+    }
+    n
+}
+
+proptest! {
+    #[test]
+    fn observation_order_never_changes_the_final_range(
+        scores in proptest::collection::vec(-1e6f64..1e6, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let forward = observe_all(&scores);
+
+        let mut reversed: Vec<f64> = scores.clone();
+        reversed.reverse();
+        let backward = observe_all(&reversed);
+
+        // A deterministic shuffle driven by the proptest-chosen seed.
+        let mut shuffled = scores.clone();
+        let mut rng = faction_linalg::SeedRng::new(seed);
+        rng.shuffle(&mut shuffled);
+        let permuted = observe_all(&shuffled);
+
+        prop_assert_eq!(forward.count(), backward.count());
+        prop_assert_eq!(forward.count(), permuted.count());
+        for probe in [-2e6, -1.0, 0.0, 0.5, 1.0, 2e6] {
+            let reference = forward.normalize(probe);
+            prop_assert_eq!(reference, backward.normalize(probe), "probe {}", probe);
+            prop_assert_eq!(reference, permuted.normalize(probe), "probe {}", probe);
+        }
+    }
+
+    #[test]
+    fn non_finite_interleavings_are_order_independent_too(
+        scores in proptest::collection::vec(-100.0f64..100.0, 0..10),
+        nans in 0usize..4,
+    ) {
+        // Non-finite scores count but never move the range, wherever they
+        // land in the stream.
+        let clean = observe_all(&scores);
+
+        let mut polluted: Vec<f64> = Vec::new();
+        for (i, &s) in scores.iter().enumerate() {
+            if i < nans {
+                polluted.push(f64::NAN);
+                polluted.push(f64::INFINITY);
+            }
+            polluted.push(s);
+        }
+        let dirty = observe_all(&polluted);
+
+        for probe in [-200.0, 0.0, 37.5, 200.0] {
+            prop_assert_eq!(clean.normalize(probe), dirty.normalize(probe), "probe {}", probe);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The batch executor: panic isolation, bounded retry, ordered collection,
+//! checkpoint/resume, and the event journal — on top of the work-stealing
+//! pool in [`crate::pool`].
+//!
+//! Failure semantics: a job that **panics** is caught with
+//! [`std::panic::catch_unwind`], journaled, and requeued up to
+//! [`EngineConfig::max_retries`] times; when the bound is exhausted it
+//! surfaces as a structured [`JobFailure`] — one failed job never kills the
+//! process or any other in-flight job. A job that returns `Err` fails
+//! immediately without retry: structured errors (an unknown strategy name,
+//! a malformed config) are deterministic, so re-running them only wastes a
+//! worker.
+//!
+//! Ordered collection: results land in a slot table indexed by submission
+//! position, so the output order of a batch is its submission order for
+//! every worker count — the property the `jobs=1 ≡ jobs=8` determinism test
+//! locks in.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use faction_core::checkpoint::RunCheckpoint;
+use faction_core::RunRecord;
+
+use crate::job::ExperimentJob;
+use crate::journal::{Journal, JournalSummary};
+use crate::pool::{lock, resolve_workers, run_indexed, PoolStats};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (`--jobs`); see [`resolve_workers`].
+    pub workers: usize,
+    /// How many times a *panicking* job is requeued before it becomes a
+    /// [`JobFailure`] (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// When set, completed grid jobs are checkpointed here as
+    /// `<key>.run.json` and finished work is skipped on the next run.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: resolve_workers(None), max_retries: 1, checkpoint_dir: None }
+    }
+}
+
+/// A job that exhausted its retry bound or returned a structured error.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// Job key / label.
+    pub key: String,
+    /// Attempts consumed (0 when the job was rejected before scheduling).
+    pub attempts: u32,
+    /// The panic message or error string of the final attempt.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} ({}) failed after {} attempt(s): {}", self.index, self.key, self.attempts, self.message)
+    }
+}
+
+/// Outcome of one generic batch.
+#[derive(Debug)]
+pub struct BatchOutcome<R> {
+    /// Per-job results in submission order; `None` where the job failed.
+    pub results: Vec<Option<R>>,
+    /// Failures in submission order.
+    pub failures: Vec<JobFailure>,
+    /// Pool statistics (workers, queue-depth high-water mark).
+    pub stats: PoolStats,
+    /// The event journal of this batch.
+    pub journal: Journal,
+}
+
+/// Outcome of an [`Engine::run_grid`] call.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// Per-job run records in grid submission order; `None` where failed.
+    pub records: Vec<Option<RunRecord>>,
+    /// Failures in submission order.
+    pub failures: Vec<JobFailure>,
+    /// Jobs restored from checkpoints instead of executed.
+    pub resumed: usize,
+    /// Pool statistics of the executed (non-resumed) portion.
+    pub stats: PoolStats,
+    /// Batch summary (job counts, retries, wall seconds, queue depth).
+    pub summary: JournalSummary,
+    /// The journal rendered as JSON lines (events + summary).
+    pub journal_jsonl: String,
+}
+
+impl GridOutcome {
+    /// Completed records in submission order (failures skipped).
+    pub fn completed(&self) -> Vec<&RunRecord> {
+        self.records.iter().flatten().collect()
+    }
+
+    /// Canonical JSON of the completed records: wall-clock timing fields
+    /// zeroed via [`RunRecord::canonicalized`], so the same grid serializes
+    /// byte-identically at any worker count.
+    pub fn canonical_json(&self) -> Result<String, serde_json::Error> {
+        let canonical: Vec<RunRecord> =
+            self.records.iter().flatten().map(RunRecord::canonicalized).collect();
+        serde_json::to_string(&canonical)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// The deterministic parallel execution engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    /// Convenience constructor: `workers` threads, default retry bound, no
+    /// checkpointing.
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine::new(EngineConfig { workers: workers.max(1), ..EngineConfig::default() })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `exec` over every job with panic isolation, bounded retry and
+    /// ordered collection. `label` names jobs for the journal and failure
+    /// reports.
+    pub fn run_batch_labeled<J, R, L, F>(&self, jobs: &[J], label: L, exec: F) -> BatchOutcome<R>
+    where
+        J: Sync,
+        R: Send,
+        L: Fn(usize) -> String + Sync,
+        F: Fn(&J) -> Result<R, String> + Sync,
+    {
+        let journal = Journal::start();
+        let results: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+        let attempts: Vec<AtomicU32> = jobs.iter().map(|_| AtomicU32::new(0)).collect();
+
+        let stats = run_indexed(self.config.workers, jobs.len(), |ctx, idx| {
+            let attempt = attempts[idx].fetch_add(1, Ordering::SeqCst) + 1;
+            let key = label(idx);
+            journal.record(&key, "started", attempt, ctx.worker, 0.0, "");
+            let t0 = journal.elapsed_seconds();
+            let outcome = catch_unwind(AssertUnwindSafe(|| exec(&jobs[idx])));
+            let seconds = journal.elapsed_seconds() - t0;
+            match outcome {
+                Ok(Ok(result)) => {
+                    *lock(&results[idx]) = Some(result);
+                    journal.record(&key, "finished", attempt, ctx.worker, seconds, "");
+                }
+                Ok(Err(message)) => {
+                    // Structured errors are deterministic: fail immediately.
+                    journal.record(&key, "failed", attempt, ctx.worker, seconds, &message);
+                    lock(&failures).push(JobFailure { index: idx, key, attempts: attempt, message });
+                }
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    if attempt <= self.config.max_retries {
+                        journal.record(&key, "retried", attempt, ctx.worker, seconds, &message);
+                        ctx.requeue_current(idx);
+                    } else {
+                        journal.record(&key, "failed", attempt, ctx.worker, seconds, &message);
+                        lock(&failures)
+                            .push(JobFailure { index: idx, key, attempts: attempt, message });
+                    }
+                }
+            }
+        });
+
+        let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+        failures.sort_by_key(|f| f.index);
+        let results = results
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        BatchOutcome { results, failures, stats, journal }
+    }
+
+    /// [`Self::run_batch_labeled`] with index labels.
+    pub fn run_batch<J, R, F>(&self, jobs: &[J], exec: F) -> BatchOutcome<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> Result<R, String> + Sync,
+    {
+        self.run_batch_labeled(jobs, |idx| format!("job-{idx}"), exec)
+    }
+
+    /// Runs an experiment grid: validates strategy names up front, resumes
+    /// finished jobs from the checkpoint directory, executes the rest in
+    /// parallel, checkpoints each completion crash-safely, and returns
+    /// records in grid submission order.
+    pub fn run_grid(&self, jobs: &[ExperimentJob]) -> GridOutcome {
+        let journal = Journal::start();
+        let mut records: Vec<Option<RunRecord>> = jobs.iter().map(|_| None).collect();
+        let mut failures: Vec<JobFailure> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut resumed = 0usize;
+
+        if let Some(dir) = &self.config.checkpoint_dir {
+            // Create the directory up front so every job doesn't fail on
+            // its first save; a failure here surfaces per-job below.
+            let _ = std::fs::create_dir_all(dir);
+        }
+
+        for (idx, job) in jobs.iter().enumerate() {
+            let key = job.key();
+            if !job.strategy_known() {
+                let message = format!("unknown strategy '{}'", job.strategy);
+                journal.record(&key, "failed", 0, 0, 0.0, &message);
+                failures.push(JobFailure { index: idx, key, attempts: 0, message });
+                continue;
+            }
+            if let Some(dir) = &self.config.checkpoint_dir {
+                let path = dir.join(format!("{key}.run.json"));
+                if let Ok(ckpt) = RunCheckpoint::load(&path) {
+                    // Guard against key collisions from a foreign grid
+                    // sharing the directory.
+                    if ckpt.record.dataset == job.dataset.name() && ckpt.record.seed == job.seed {
+                        journal.record(&key, "resumed", 0, 0, 0.0, "");
+                        records[idx] = Some(ckpt.record);
+                        resumed += 1;
+                        continue;
+                    }
+                }
+            }
+            pending.push(idx);
+        }
+
+        let checkpoint_dir = self.config.checkpoint_dir.clone();
+        let outcome = self.run_batch_labeled(
+            &pending,
+            |pos| jobs[pending[pos]].key(),
+            |&idx| {
+                let job = &jobs[idx];
+                let record = job.run()?;
+                if let Some(dir) = &checkpoint_dir {
+                    let path = dir.join(format!("{}.run.json", job.key()));
+                    if let Err(e) = RunCheckpoint::capture(&record).save(&path) {
+                        return Err(format!("run succeeded but checkpoint save failed: {e}"));
+                    }
+                }
+                Ok(record)
+            },
+        );
+
+        // run_batch_labeled journals into its own journal; splice those
+        // events into the grid journal so resume + execution share one log.
+        // (Timestamps stay relative to the batch start, a few ms after the
+        // grid's own start — the resume scan is a directory read.)
+        for event in outcome.journal.events() {
+            journal.push_raw(event);
+        }
+        for (pos, result) in outcome.results.into_iter().enumerate() {
+            records[pending[pos]] = result;
+        }
+        for failure in outcome.failures {
+            let index = pending[failure.index];
+            failures.push(JobFailure { index, ..failure });
+        }
+        failures.sort_by_key(|f| f.index);
+
+        let summary = journal.summarize(jobs.len(), outcome.stats);
+        let journal_jsonl = journal.render_jsonl(jobs.len(), outcome.stats);
+        GridOutcome {
+            records,
+            failures,
+            resumed,
+            stats: outcome.stats,
+            summary,
+            journal_jsonl,
+        }
+    }
+}

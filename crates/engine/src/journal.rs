@@ -1,0 +1,192 @@
+//! Per-job event journal: what ran, when, where, how often it was retried.
+//!
+//! The engine appends one [`JobEvent`] per lifecycle transition —
+//! `started`, `finished`, `retried`, `failed`, `resumed` — stamped with
+//! milliseconds since the batch began, the worker id, and the attempt
+//! number, so a run is reconstructable *after the fact*: per-job durations,
+//! retry storms, queue-depth pressure, worker utilization.
+//!
+//! Rendering is JSON lines — one event object per line, followed by one
+//! summary object — parseable with the workspace `serde_json` and greppable
+//! by hand. Event *order* in the journal follows wall-clock completion and
+//! is therefore schedule-dependent; the journal is observability output and
+//! deliberately outside the engine's determinism contract (job *results*
+//! are pure functions of job values; see `DESIGN.md` §8).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::{lock, PoolStats};
+
+/// One lifecycle transition of one job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Milliseconds since the engine batch started.
+    pub t_ms: u64,
+    /// Job key (e.g. `NYSF-faction-s2`).
+    pub job: String,
+    /// `started` | `finished` | `retried` | `failed` | `resumed`.
+    pub kind: String,
+    /// 1-based attempt number this event belongs to (0 for `resumed`).
+    pub attempt: u32,
+    /// Worker id that ran the attempt (0 for `resumed`).
+    pub worker: usize,
+    /// Attempt duration in seconds (`finished` / `retried` / `failed`).
+    pub seconds: f64,
+    /// Failure detail: the panic message or error for `retried` / `failed`.
+    pub detail: String,
+}
+
+/// Batch-level summary appended as the journal's final line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalSummary {
+    /// Jobs submitted (including resumed ones).
+    pub jobs: usize,
+    /// Jobs that produced a result (fresh or resumed).
+    pub finished: usize,
+    /// Jobs resumed from a checkpoint without running.
+    pub resumed: usize,
+    /// Jobs that exhausted their retry bound.
+    pub failed: usize,
+    /// Total retry attempts across all jobs.
+    pub retries: u32,
+    /// Worker threads used.
+    pub workers: usize,
+    /// High-water mark of the queued-job count.
+    pub queue_depth_high_water: usize,
+    /// Batch wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// Thread-safe event collector for one engine batch.
+#[derive(Debug)]
+pub struct Journal {
+    start: Instant,
+    events: Mutex<Vec<JobEvent>>,
+}
+
+impl Journal {
+    /// Starts an empty journal; `t_ms` stamps are relative to this call.
+    pub fn start() -> Journal {
+        // Wall-clock here is observability output only (event timestamps /
+        // durations); it never influences scheduling decisions or results.
+        // analyzer:allow(banned-nondeterminism): journal timestamps are reporting-only
+        Journal { start: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Milliseconds elapsed since the journal started.
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since the journal started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Appends one event, stamping it with the current relative time.
+    pub fn record(&self, job: &str, kind: &str, attempt: u32, worker: usize, seconds: f64, detail: &str) {
+        let event = JobEvent {
+            t_ms: self.elapsed_ms(),
+            job: job.to_string(),
+            kind: kind.to_string(),
+            attempt,
+            worker,
+            seconds,
+            detail: detail.to_string(),
+        };
+        lock(&self.events).push(event);
+    }
+
+    /// Appends an already-stamped event verbatim (used to splice a nested
+    /// batch's journal into its parent without re-stamping).
+    pub fn push_raw(&self, event: JobEvent) {
+        lock(&self.events).push(event);
+    }
+
+    /// Snapshot of the events recorded so far, in append order.
+    pub fn events(&self) -> Vec<JobEvent> {
+        lock(&self.events).clone()
+    }
+
+    /// Builds the batch summary from the recorded events plus pool stats.
+    pub fn summarize(&self, jobs: usize, stats: PoolStats) -> JournalSummary {
+        let events = lock(&self.events);
+        let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+        JournalSummary {
+            jobs,
+            finished: count("finished") + count("resumed"),
+            resumed: count("resumed"),
+            failed: count("failed"),
+            retries: u32::try_from(count("retried")).unwrap_or(u32::MAX),
+            workers: stats.workers,
+            queue_depth_high_water: stats.queue_high_water,
+            wall_seconds: self.elapsed_seconds(),
+        }
+    }
+
+    /// Renders the journal as JSON lines: one event per line, then the
+    /// summary object as the final line.
+    pub fn render_jsonl(&self, jobs: usize, stats: PoolStats) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            if let Ok(line) = serde_json::to_string(&event) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        if let Ok(line) = serde_json::to_string(&self.summarize(jobs, stats)) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let journal = Journal::start();
+        journal.record("NYSF-random-s0", "started", 1, 0, 0.0, "");
+        journal.record("NYSF-random-s0", "finished", 1, 0, 0.25, "");
+        let rendered = journal.render_jsonl(1, PoolStats { workers: 2, queue_high_water: 1 });
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first: JobEvent = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.kind, "started");
+        assert_eq!(first.job, "NYSF-random-s0");
+        let summary: JournalSummary = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(summary.jobs, 1);
+        assert_eq!(summary.finished, 1);
+        assert_eq!(summary.workers, 2);
+    }
+
+    #[test]
+    fn summary_counts_retries_and_failures() {
+        let journal = Journal::start();
+        journal.record("a", "started", 1, 0, 0.0, "");
+        journal.record("a", "retried", 1, 0, 0.1, "boom");
+        journal.record("a", "started", 2, 1, 0.0, "");
+        journal.record("a", "failed", 2, 1, 0.1, "boom");
+        journal.record("b", "resumed", 0, 0, 0.0, "");
+        let s = journal.summarize(2, PoolStats { workers: 2, queue_high_water: 2 });
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.resumed, 1);
+        assert_eq!(s.finished, 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let journal = Journal::start();
+        journal.record("x", "started", 1, 0, 0.0, "");
+        journal.record("x", "finished", 1, 0, 0.0, "");
+        let events = journal.events();
+        assert!(events[0].t_ms <= events[1].t_ms);
+    }
+}

@@ -1,0 +1,314 @@
+//! Hand-rolled work-stealing thread pool (std-only, no external deps).
+//!
+//! The scheduler runs a fixed batch of jobs — identified by their index into
+//! the caller's job slice — on `workers` OS threads:
+//!
+//! * **Per-worker deques.** Submission round-robins job indices across the
+//!   workers' own deques, so with `workers = 1` execution is exactly
+//!   submission order. Owners pop from the *front* (FIFO: experiment jobs
+//!   are coarse, so submission-order execution beats the classic Chase-Lev
+//!   LIFO locality argument), thieves steal from the *back* (the work the
+//!   owner would reach last).
+//! * **Global injector.** Work created *during* the run — retries of
+//!   panicked jobs — lands in a shared FIFO injector rather than the
+//!   submitting worker's deque, so a repeatedly failing job cannot pin one
+//!   worker while its siblings idle.
+//! * **Park / unpark.** A worker that finds every queue empty parks on a
+//!   condvar; every push notifies one sleeper, and the worker that retires
+//!   the final job notifies all so the pool drains and joins.
+//!
+//! Queues are `Mutex<VecDeque<usize>>`: jobs here are whole experiments
+//! (milliseconds to minutes), so queue traffic is a few dozen operations per
+//! run and lock-free deques would buy nothing. The pool is *scoped* — built
+//! on [`std::thread::scope`] — so jobs may borrow from the caller's stack.
+//!
+//! Determinism contract: the pool guarantees nothing about *execution
+//! order* across workers; callers get reproducibility by making each job's
+//! output a pure function of the job value (see `crate::job`), never of
+//! schedule, worker id, or completion order.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, tolerating poisoning: a panicking job is isolated by
+/// `catch_unwind` in the executor, but if a panic ever does fly through a
+/// critical section the queue state itself (plain `VecDeque`s and counters)
+/// is still consistent, so the pool keeps draining instead of deadlocking.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Resolves a `--jobs` request to a worker count: `None` or `Some(0)` mean
+/// auto-detect via [`std::thread::available_parallelism`] (falling back to 1
+/// when the platform cannot say).
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Counters guarded by the park lock.
+struct ParkState {
+    /// Job indices sitting in some queue (injector or deque), not yet
+    /// picked up by a worker.
+    queued: usize,
+    /// Jobs submitted or requeued and not yet retired. The pool drains when
+    /// this reaches zero.
+    outstanding: usize,
+    /// High-water mark of `queued` over the batch lifetime.
+    high_water: usize,
+}
+
+/// Shared scheduler state for one batch.
+struct Scheduler {
+    injector: Mutex<VecDeque<usize>>,
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    park: Mutex<ParkState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(workers: usize, jobs: usize) -> Scheduler {
+        let mut deques = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            deques.push(Mutex::new(VecDeque::new()));
+        }
+        let s = Scheduler {
+            injector: Mutex::new(VecDeque::new()),
+            deques,
+            park: Mutex::new(ParkState { queued: 0, outstanding: 0, high_water: 0 }),
+            cv: Condvar::new(),
+        };
+        // Seed round-robin across the worker deques: deterministic layout,
+        // and with one worker it degenerates to pure submission order.
+        for idx in 0..jobs {
+            lock(&s.deques[idx % workers]).push_back(idx);
+        }
+        let mut p = lock(&s.park);
+        p.queued = jobs;
+        p.outstanding = jobs;
+        p.high_water = jobs;
+        drop(p);
+        s
+    }
+
+    /// Books one popped job out of the queued count.
+    fn note_popped(&self) {
+        lock(&self.park).queued -= 1;
+    }
+
+    /// Pushes a requeued job (a retry) onto the global injector and wakes a
+    /// parked worker. `outstanding` is unchanged: the job was never retired.
+    fn requeue(&self, idx: usize) {
+        lock(&self.injector).push_back(idx);
+        let mut p = lock(&self.park);
+        p.queued += 1;
+        p.high_water = p.high_water.max(p.queued);
+        drop(p);
+        self.cv.notify_one();
+    }
+
+    /// Retires one job; wakes everyone when the batch is drained.
+    fn retire(&self) {
+        let mut p = lock(&self.park);
+        p.outstanding -= 1;
+        let done = p.outstanding == 0;
+        drop(p);
+        if done {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Finds the next job for `worker`: own deque front, then injector
+    /// front, then steal from siblings' backs (scanning from the next
+    /// worker id so thieves spread out).
+    fn find_work(&self, worker: usize) -> Option<usize> {
+        if let Some(idx) = lock(&self.deques[worker]).pop_front() {
+            self.note_popped();
+            return Some(idx);
+        }
+        if let Some(idx) = lock(&self.injector).pop_front() {
+            self.note_popped();
+            return Some(idx);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(idx) = lock(&self.deques[victim]).pop_back() {
+                self.note_popped();
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Parks until work might exist or the batch is drained. Returns
+    /// `false` when the batch is fully retired and the worker should exit.
+    fn park_or_exit(&self) -> bool {
+        let mut p = lock(&self.park);
+        loop {
+            if p.outstanding == 0 {
+                return false;
+            }
+            if p.queued > 0 {
+                return true;
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(p, std::time::Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            p = guard;
+        }
+    }
+}
+
+/// Pool statistics for one batch, reported into the run journal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// High-water mark of the number of queued (not yet running) jobs.
+    pub queue_high_water: usize,
+}
+
+/// Per-invocation handle a job body receives; lets the executor requeue the
+/// job it is currently running (bounded retry after a panic).
+pub(crate) struct WorkerCtx<'a> {
+    scheduler: &'a Scheduler,
+    /// Id of the worker running this job (journal detail only).
+    pub worker: usize,
+    requeued: std::cell::Cell<bool>,
+}
+
+impl WorkerCtx<'_> {
+    /// Requeues the *current* job onto the global injector; the pool will
+    /// hand it to some worker again instead of retiring it.
+    pub fn requeue_current(&self, idx: usize) {
+        self.requeued.set(true);
+        self.scheduler.requeue(idx);
+    }
+}
+
+/// Runs job indices `0..count` on `workers` threads. `body` is invoked once
+/// per scheduled execution (so a requeued index runs again) and may borrow
+/// from the caller's stack. Returns pool statistics.
+pub(crate) fn run_indexed<F>(workers: usize, count: usize, body: F) -> PoolStats
+where
+    F: Fn(&WorkerCtx<'_>, usize) + Sync,
+{
+    let workers = workers.max(1);
+    if count == 0 {
+        return PoolStats { workers, queue_high_water: 0 };
+    }
+    let scheduler = Scheduler::new(workers, count);
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let scheduler = &scheduler;
+            let body = &body;
+            scope.spawn(move || loop {
+                match scheduler.find_work(worker) {
+                    Some(idx) => {
+                        let ctx = WorkerCtx {
+                            scheduler,
+                            worker,
+                            requeued: std::cell::Cell::new(false),
+                        };
+                        body(&ctx, idx);
+                        if !ctx.requeued.get() {
+                            scheduler.retire();
+                        }
+                    }
+                    None => {
+                        if !scheduler.park_or_exit() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let p = lock(&scheduler.park);
+    PoolStats { workers, queue_high_water: p.high_water }
+}
+
+/// Runs `f(index, item)` for every item of `items` on `workers` threads and
+/// blocks until all complete. The primitive behind the engine's batch
+/// executor and the bench crate's scaling harness: items may borrow from the
+/// caller, results are typically written into a locked slot table so output
+/// order is submission order regardless of schedule.
+pub fn scoped_for_each<T, F>(workers: usize, items: &[T], f: F) -> PoolStats
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    run_indexed(workers, items.len(), |_, idx| f(idx, &items[idx]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        for workers in [1, 2, 8] {
+            let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            let stats = scoped_for_each(workers, &hits, |_, slot| {
+                slot.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.queue_high_water, 97);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "item {i} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let items: [u8; 0] = [];
+        let stats = scoped_for_each(4, &items, |_, _| panic!("must not run"));
+        assert_eq!(stats.queue_high_water, 0);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let sum = AtomicUsize::new(0);
+        let items = [1usize, 2, 3];
+        scoped_for_each(16, &items, |_, &v| {
+            sum.fetch_add(v, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn single_worker_runs_in_submission_order() {
+        let order = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..20).collect();
+        scoped_for_each(1, &items, |idx, _| lock(&order).push(idx));
+        assert_eq!(*lock(&order), items);
+    }
+
+    #[test]
+    fn resolve_workers_auto_and_explicit() {
+        assert!(resolve_workers(None) >= 1);
+        assert!(resolve_workers(Some(0)) >= 1);
+        assert_eq!(resolve_workers(Some(5)), 5);
+    }
+
+    #[test]
+    fn results_are_order_independent_of_worker_count() {
+        // The slot-table pattern: writes land at the submission index, so
+        // the collected output is identical for any worker count.
+        let items: Vec<u64> = (0..50).collect();
+        let collect = |workers: usize| -> Vec<u64> {
+            let slots: Vec<Mutex<u64>> = items.iter().map(|_| Mutex::new(0)).collect();
+            scoped_for_each(workers, &items, |idx, &v| {
+                *lock(&slots[idx]) = v * v;
+            });
+            slots.iter().map(|s| *lock(s)).collect()
+        };
+        assert_eq!(collect(1), collect(8));
+    }
+}

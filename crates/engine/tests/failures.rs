@@ -1,0 +1,97 @@
+//! Failure semantics: a panicking job is isolated, retried up to its bound,
+//! and then surfaces as a structured `JobFailure` — without killing the
+//! process or any other in-flight job.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use faction_engine::{Engine, EngineConfig};
+
+fn engine(workers: usize, max_retries: u32) -> Engine {
+    Engine::new(EngineConfig { workers, max_retries, checkpoint_dir: None })
+}
+
+#[test]
+fn a_panicking_job_fails_alone_after_bounded_retry() {
+    let jobs: Vec<usize> = (0..6).collect();
+    let outcome = engine(3, 2).run_batch(&jobs, |&n| {
+        if n == 3 {
+            panic!("intentional test panic for job {n}");
+        }
+        Ok(n * 10)
+    });
+
+    // The five healthy jobs all completed, in submission order.
+    for (idx, result) in outcome.results.iter().enumerate() {
+        if idx == 3 {
+            assert!(result.is_none());
+        } else {
+            assert_eq!(*result, Some(idx * 10));
+        }
+    }
+    // The sick one is a structured report, not a dead process.
+    assert_eq!(outcome.failures.len(), 1);
+    let failure = &outcome.failures[0];
+    assert_eq!(failure.index, 3);
+    assert_eq!(failure.attempts, 3, "1 initial + 2 retries");
+    assert!(failure.message.contains("intentional test panic"), "{}", failure.message);
+
+    // The journal shows the retry trail: 2 retried events, then failed.
+    let events = outcome.journal.events();
+    assert_eq!(events.iter().filter(|e| e.kind == "retried").count(), 2);
+    assert_eq!(events.iter().filter(|e| e.kind == "failed").count(), 1);
+    assert_eq!(events.iter().filter(|e| e.kind == "finished").count(), 5);
+}
+
+#[test]
+fn a_flaky_job_succeeds_on_retry() {
+    static FLAKES: AtomicU32 = AtomicU32::new(0);
+    let jobs: Vec<usize> = (0..4).collect();
+    let outcome = engine(2, 1).run_batch(&jobs, |&n| {
+        if n == 1 && FLAKES.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient failure");
+        }
+        Ok(n + 100)
+    });
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(outcome.results, vec![Some(100), Some(101), Some(102), Some(103)]);
+    let events = outcome.journal.events();
+    assert_eq!(events.iter().filter(|e| e.kind == "retried").count(), 1);
+}
+
+#[test]
+fn structured_errors_fail_fast_without_retry() {
+    let jobs: Vec<usize> = (0..3).collect();
+    let outcome = engine(2, 5).run_batch(&jobs, |&n| {
+        if n == 0 {
+            Err("deterministic config error".to_string())
+        } else {
+            Ok(n)
+        }
+    });
+    assert_eq!(outcome.failures.len(), 1);
+    assert_eq!(outcome.failures[0].attempts, 1, "Err results are not retried");
+    assert!(outcome.failures[0].message.contains("deterministic config error"));
+    assert_eq!(outcome.journal.events().iter().filter(|e| e.kind == "retried").count(), 0);
+}
+
+#[test]
+fn zero_retries_means_one_attempt() {
+    let jobs = [0usize];
+    let outcome = engine(1, 0).run_batch(&jobs, |_| -> Result<(), String> {
+        panic!("always");
+    });
+    assert_eq!(outcome.failures.len(), 1);
+    assert_eq!(outcome.failures[0].attempts, 1);
+}
+
+#[test]
+fn failure_display_names_job_and_attempts() {
+    let jobs = [7usize];
+    let outcome = engine(1, 0).run_batch_labeled(&jobs, |_| "NYSF-faction-s7".into(), |_| -> Result<(), String> {
+        panic!("boom");
+    });
+    let text = outcome.failures[0].to_string();
+    assert!(text.contains("NYSF-faction-s7"), "{text}");
+    assert!(text.contains("1 attempt"), "{text}");
+    assert!(text.contains("boom"), "{text}");
+}

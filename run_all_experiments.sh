@@ -3,15 +3,22 @@
 # Published results in results/ were produced with the seed counts below
 # (reduced from the paper's 5 for single-core wall-clock); every harness
 # accepts --seeds 5 to run the full protocol.
+#
+# Each harness fans its (strategy × seed) grid out over the faction-engine
+# work-stealing pool. JOBS controls the worker count (default: all cores);
+# results are byte-identical for every value, so JOBS only changes
+# wall-clock. Run `JOBS=1 ./run_all_experiments.sh` for the historical
+# sequential execution.
 set -x
 cd "$(dirname "$0")"
 B=./target/release
-$B/table1_nysf --seeds 5                       && echo DONE:table1
-$B/fig2_curves --seeds 2                       && echo DONE:fig2
-$B/fig4_ablation --seeds 2                     && echo DONE:fig4
-$B/fig5_runtime fair --seeds 2                 && echo DONE:fig5a
-$B/fig5_runtime ablation --seeds 2             && echo DONE:fig5b
-$B/fig6_wide --seeds 2                         && echo DONE:fig6
-$B/theory_bounds --seeds 3                     && echo DONE:theory
-$B/fig3_tradeoff --dataset NYSF --seeds 2      && echo DONE:fig3
+JOBS="${JOBS:-$(nproc)}"
+$B/table1_nysf --seeds 5 --jobs "$JOBS"                  && echo DONE:table1
+$B/fig2_curves --seeds 2 --jobs "$JOBS"                  && echo DONE:fig2
+$B/fig4_ablation --seeds 2 --jobs "$JOBS"                && echo DONE:fig4
+$B/fig5_runtime fair --seeds 2 --jobs "$JOBS"            && echo DONE:fig5a
+$B/fig5_runtime ablation --seeds 2 --jobs "$JOBS"        && echo DONE:fig5b
+$B/fig6_wide --seeds 2 --jobs "$JOBS"                    && echo DONE:fig6
+$B/theory_bounds --seeds 3                               && echo DONE:theory
+$B/fig3_tradeoff --dataset NYSF --seeds 2 --jobs "$JOBS" && echo DONE:fig3
 echo ALL_EXPERIMENTS_COMPLETE

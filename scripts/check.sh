@@ -40,6 +40,15 @@ run_stage "faction-analyzer (determinism & numerics lint)" \
 run_stage "perf_report --quick (smoke)" \
     cargo run -p faction-bench --release --bin perf_report -- --quick
 
+# Engine gate: the parallel execution engine must build and its determinism
+# suite must prove jobs=1 and jobs=8 produce byte-identical canonical
+# results (plus sequential-path equivalence, resume, and journal replay).
+run_stage "faction-engine determinism (jobs=1 == jobs=8)" \
+    cargo test -q -p faction-engine --release --test determinism
+
+run_stage "engine_scaling --quick (smoke)" \
+    cargo run -p faction-bench --release --bin engine_scaling -- --quick
+
 echo
 echo "==> all checks passed"
 echo "    stage timings:"

@@ -3,20 +3,15 @@
 //! ```text
 //! cargo run --release --bin faction_cli -- list
 //! cargo run --release --bin faction_cli -- run --dataset NYSF --strategy faction --seeds 3 --quick
+//! cargo run --release --bin faction_cli -- grid --strategies faction,random --seeds 3 --jobs 4 --quick
 //! cargo run --release --bin faction_cli -- drift --dataset RCMNIST --quick
 //! ```
 
-use std::collections::HashMap;
+use std::str::FromStr;
 
 use faction::core::drift::DriftDetector;
 use faction::core::report::{render_summary_table, AggregatedRun};
-use faction::core::strategies::decoupled::Decoupled;
-use faction::core::strategies::entropy::EntropyAl;
-use faction::core::strategies::fal::{Fal, FalParams};
-use faction::core::strategies::falcur::FalCur;
-use faction::core::strategies::qufur::QuFur;
-use faction::core::strategies::random::Random;
-use faction::core::strategies::Ddu;
+use faction::engine::{Engine, EngineConfig, ExperimentJob};
 use faction::prelude::*;
 
 const USAGE: &str = "\
@@ -25,59 +20,111 @@ faction_cli — fairness-aware active online learning experiments
 USAGE:
   faction_cli list
   faction_cli run   --dataset NAME [--strategy NAME] [--seeds N] [--budget B]
-                    [--mu F] [--lambda F] [--quick]
+                    [--mu F] [--lambda F] [--jobs N] [--quick]
+  faction_cli grid  [--datasets A,B|--dataset NAME] [--strategies X,Y] [--seeds N]
+                    [--budget B] [--mu F] [--lambda F] [--jobs N] [--quick]
+                    [--out DIR] [--checkpoint-dir DIR] [--journal PATH]
   faction_cli drift --dataset NAME [--quick]
   faction_cli stats --dataset NAME [--quick]
+
+  --jobs N     worker threads for the execution engine (0 = auto-detect);
+               results are byte-identical for every N.
 
 STRATEGIES: faction, faction-no-select, faction-no-reg, faction-uncertainty,
             fal, fal-cur, decoupled, qufur, ddu, entropy, random
 DATASETS:   RCMNIST, CelebA, FairFace, FFHQ, NYSF
 ";
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                i += 1;
-                args[i].clone()
-            } else {
-                "true".into()
-            };
-            flags.insert(key.to_string(), value);
-        }
-        i += 1;
-    }
-    flags
+/// Prints a usage error naming the offending flag/value and exits with the
+/// conventional usage-error code 2 (panics and their exit code 101 are for
+/// bugs, not for typos on the command line).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
 }
 
-fn strategy_by_name(
-    name: &str,
-    loss: TotalLossConfig,
-    lambda: f64,
-    quick: bool,
-) -> Option<Box<dyn Strategy>> {
-    let params = FactionParams { loss, lambda, ..Default::default() };
-    let fal_params = if quick {
-        FalParams { l: 16, retrain_subsample: 48, probe_subsample: 48, ..Default::default() }
-    } else {
-        FalParams::default()
-    };
-    Some(match name.to_ascii_lowercase().as_str() {
-        "faction" => Box::new(Faction::new(params)),
-        "faction-no-select" => Box::new(Faction::without_fair_select(params)),
-        "faction-no-reg" => Box::new(Faction::without_fair_reg(params)),
-        "faction-uncertainty" => Box::new(Faction::uncertainty_only(params)),
-        "fal" => Box::new(Fal::new(fal_params)),
-        "fal-cur" | "falcur" => Box::new(FalCur::default()),
-        "decoupled" => Box::new(Decoupled::default()),
-        "qufur" => Box::new(QuFur::default()),
-        "ddu" => Box::new(Ddu::default()),
-        "entropy" | "entropy-al" => Box::new(EntropyAl),
-        "random" => Box::new(Random),
-        _ => return None,
-    })
+/// Parsed flags in command-line order. A `Vec` rather than a `HashMap`:
+/// lookups are linear over a handful of entries and validation can iterate
+/// deterministically.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    i += 1;
+                    args[i].clone()
+                } else {
+                    "true".into()
+                };
+                flags.push((key.to_string(), value));
+            }
+            i += 1;
+        }
+        Flags(flags)
+    }
+
+    /// Rejects flags the command does not understand, naming the first
+    /// offender.
+    fn expect_known(&self, command: &str, known: &[&str]) {
+        for (key, _) in &self.0 {
+            if !known.contains(&key.as_str()) {
+                usage_error(&format!("unknown flag '--{key}' for '{command}'"));
+            }
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Typed flag lookup; a malformed value is a usage error naming the
+    /// flag and the expected shape, not a panic.
+    fn parse_value<T: FromStr>(&self, key: &str, expected: &str) -> Option<T> {
+        self.get(key).map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                usage_error(&format!("invalid value '{raw}' for --{key} (expected {expected})"))
+            })
+        })
+    }
+
+    fn dataset(&self, key: &str) -> Option<Dataset> {
+        self.get(key).map(|name| {
+            Dataset::from_name(name).unwrap_or_else(|| {
+                usage_error(&format!(
+                    "unknown dataset '{name}' for --{key} \
+                     (one of RCMNIST, CelebA, FairFace, FFHQ, NYSF)"
+                ))
+            })
+        })
+    }
+}
+
+/// Shared protocol knobs for `run` and `grid`.
+fn config_from_flags(flags: &Flags) -> (ExperimentConfig, Scale, bool) {
+    let quick = flags.has("quick");
+    let mut cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::paper() };
+    if let Some(budget) = flags.parse_value("budget", "integer") {
+        cfg.budget = budget;
+    }
+    if let Some(mu) = flags.parse_value("mu", "float") {
+        cfg.loss.mu = mu;
+    }
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    (cfg, scale, quick)
+}
+
+fn engine_from_flags(flags: &Flags) -> Engine {
+    let workers = faction::engine::resolve_workers(flags.parse_value("jobs", "integer"));
+    let checkpoint_dir = flags.get("checkpoint-dir").map(std::path::PathBuf::from);
+    Engine::new(EngineConfig { workers, checkpoint_dir, ..EngineConfig::default() })
 }
 
 fn cmd_list() {
@@ -92,51 +139,52 @@ fn cmd_list() {
             stream.input_dim
         );
     }
-    println!("\nstrategies: faction, faction-no-select, faction-no-reg, faction-uncertainty,");
-    println!("            fal, fal-cur, decoupled, qufur, ddu, entropy, random");
+    println!("\nstrategies: {}", faction::engine::STRATEGY_NAMES.join(", "));
 }
 
-fn cmd_run(flags: &HashMap<String, String>) {
-    let quick = flags.contains_key("quick");
-    let dataset = flags
-        .get("dataset")
-        .and_then(|d| Dataset::from_name(d))
-        .unwrap_or_else(|| {
-            eprintln!("--dataset required (one of RCMNIST, CelebA, FairFace, FFHQ, NYSF)");
-            std::process::exit(2);
-        });
-    let strategy_name = flags.get("strategy").map(String::as_str).unwrap_or("faction");
-    let seeds: u64 = flags.get("seeds").map(|s| s.parse().expect("--seeds integer")).unwrap_or(3);
-    let mut cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::paper() };
-    if let Some(budget) = flags.get("budget") {
-        cfg.budget = budget.parse().expect("--budget integer");
-    }
-    if let Some(mu) = flags.get("mu") {
-        cfg.loss.mu = mu.parse().expect("--mu float");
-    }
-    let lambda: f64 = flags.get("lambda").map(|v| v.parse().expect("--lambda float")).unwrap_or(1.0);
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-
-    eprintln!(
-        "running {strategy_name} on {} ({seeds} seeds, budget {})…",
-        dataset.name(),
-        cfg.budget
+fn cmd_run(flags: &Flags) {
+    flags.expect_known(
+        "run",
+        &["dataset", "strategy", "seeds", "budget", "mu", "lambda", "jobs", "quick"],
     );
-    let runs: Vec<RunRecord> = (0..seeds)
+    let (cfg, scale, quick) = config_from_flags(flags);
+    let dataset = flags.dataset("dataset").unwrap_or_else(|| {
+        usage_error("--dataset is required (one of RCMNIST, CelebA, FairFace, FFHQ, NYSF)")
+    });
+    let strategy_name = flags.get("strategy").unwrap_or("faction");
+    let seeds: u64 = flags.parse_value("seeds", "integer").unwrap_or(3);
+    let lambda: f64 = flags.parse_value("lambda", "float").unwrap_or(1.0);
+    if faction::engine::build_strategy(strategy_name, cfg.loss, lambda, quick).is_none() {
+        usage_error(&format!("unknown strategy '{strategy_name}' for --strategy"));
+    }
+
+    let engine = engine_from_flags(flags);
+    eprintln!(
+        "running {strategy_name} on {} ({seeds} seeds, budget {}, {} worker(s))…",
+        dataset.name(),
+        cfg.budget,
+        engine.config().workers
+    );
+    let jobs: Vec<ExperimentJob> = (0..seeds)
         .map(|seed| {
-            let stream = dataset.stream(seed, scale);
-            let arch =
-                faction::nn::presets::standard(stream.input_dim, stream.num_classes, seed);
-            let mut strategy = strategy_by_name(strategy_name, cfg.loss, lambda, quick)
-                .unwrap_or_else(|| {
-                    eprintln!("unknown strategy '{strategy_name}'\n{USAGE}");
-                    std::process::exit(2);
-                });
-            let record = run_experiment(&stream, strategy.as_mut(), &arch, &cfg, seed);
-            eprintln!("  seed {seed}: {:.1}s", record.total_seconds);
-            record
+            let mut job = ExperimentJob::new(dataset, strategy_name, seed, cfg.clone(), scale);
+            job.lambda = lambda;
+            job.quick_knobs = quick;
+            job
         })
         .collect();
+    let outcome = engine.run_grid(&jobs);
+    for failure in &outcome.failures {
+        eprintln!("  {failure}");
+    }
+    let runs: Vec<RunRecord> = outcome.records.iter().flatten().cloned().collect();
+    if runs.is_empty() {
+        eprintln!("no runs completed");
+        std::process::exit(1);
+    }
+    for run in &runs {
+        eprintln!("  seed {}: {:.1}s", run.seed, run.total_seconds);
+    }
     let aggregated = AggregatedRun::from_runs(&runs);
     println!("\nper-task curves (mean across seeds):");
     println!(
@@ -151,14 +199,147 @@ fn cmd_run(flags: &HashMap<String, String>) {
     }
     println!();
     println!("{}", render_summary_table(std::slice::from_ref(&aggregated)));
+    if !outcome.failures.is_empty() {
+        std::process::exit(1);
+    }
 }
 
-fn cmd_drift(flags: &HashMap<String, String>) {
-    let quick = flags.contains_key("quick");
-    let dataset = flags
-        .get("dataset")
-        .and_then(|d| Dataset::from_name(d))
-        .unwrap_or(Dataset::Rcmnist);
+fn cmd_grid(flags: &Flags) {
+    flags.expect_known(
+        "grid",
+        &[
+            "datasets",
+            "dataset",
+            "strategies",
+            "seeds",
+            "budget",
+            "mu",
+            "lambda",
+            "jobs",
+            "quick",
+            "out",
+            "checkpoint-dir",
+            "journal",
+        ],
+    );
+    let (cfg, scale, quick) = config_from_flags(flags);
+    let seeds: u64 = flags.parse_value("seeds", "integer").unwrap_or(3);
+    let lambda: f64 = flags.parse_value("lambda", "float").unwrap_or(1.0);
+
+    let datasets: Vec<Dataset> = match (flags.get("datasets"), flags.dataset("dataset")) {
+        (Some(csv), _) => csv
+            .split(',')
+            .map(|name| {
+                Dataset::from_name(name.trim()).unwrap_or_else(|| {
+                    usage_error(&format!("unknown dataset '{name}' in --datasets"))
+                })
+            })
+            .collect(),
+        (None, Some(one)) => vec![one],
+        (None, None) => Dataset::ALL.to_vec(),
+    };
+    let strategy_names: Vec<String> = match flags.get("strategies") {
+        Some(csv) => csv.split(',').map(|s| s.trim().to_string()).collect(),
+        None => ["faction", "fal", "fal-cur", "decoupled", "qufur", "ddu", "entropy", "random"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    for name in &strategy_names {
+        if faction::engine::build_strategy(name, cfg.loss, lambda, quick).is_none() {
+            usage_error(&format!("unknown strategy '{name}' in --strategies"));
+        }
+    }
+
+    let mut jobs = Vec::new();
+    for &dataset in &datasets {
+        for name in &strategy_names {
+            for seed in 0..seeds {
+                let mut job = ExperimentJob::new(dataset, name, seed, cfg.clone(), scale);
+                job.lambda = lambda;
+                job.quick_knobs = quick;
+                jobs.push(job);
+            }
+        }
+    }
+
+    let engine = engine_from_flags(flags);
+    eprintln!(
+        "grid: {} dataset(s) × {} strategies × {seeds} seed(s) = {} jobs on {} worker(s)…",
+        datasets.len(),
+        strategy_names.len(),
+        jobs.len(),
+        engine.config().workers
+    );
+    let outcome = engine.run_grid(&jobs);
+
+    if let Some(path) = flags.get("journal") {
+        if let Err(e) = std::fs::write(path, &outcome.journal_jsonl) {
+            eprintln!("warning: could not write journal to {path}: {e}");
+        } else {
+            eprintln!("journal: {path}");
+        }
+    }
+
+    // One summary row per (dataset, strategy): aggregate that cell's seeds.
+    let mut tables: Vec<String> = Vec::new();
+    for &dataset in &datasets {
+        let mut rows = Vec::new();
+        for name in &strategy_names {
+            let cell: Vec<RunRecord> = jobs
+                .iter()
+                .zip(&outcome.records)
+                .filter(|(job, _)| job.dataset == dataset && &job.strategy == name)
+                .filter_map(|(_, rec)| rec.clone())
+                .collect();
+            if !cell.is_empty() {
+                rows.push(AggregatedRun::from_runs(&cell));
+            }
+        }
+        if !rows.is_empty() {
+            tables.push(format!("== {} ==\n{}", dataset.name(), render_summary_table(&rows)));
+        }
+    }
+    let rendered = tables.join("\n");
+    println!("{rendered}");
+
+    if let Some(dir) = flags.get("out") {
+        let dir = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        } else {
+            match outcome.canonical_json() {
+                Ok(json) => {
+                    let path = dir.join("grid_runs.json");
+                    match std::fs::write(&path, json) {
+                        Ok(()) => eprintln!("records: {}", path.display()),
+                        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+                    }
+                }
+                Err(e) => eprintln!("warning: could not serialize records: {e}"),
+            }
+            std::fs::write(dir.join("grid_summary.txt"), &rendered).ok();
+        }
+    }
+
+    let s = &outcome.summary;
+    eprintln!(
+        "engine: {} jobs ({} resumed), {} failed, {} retries, {} worker(s), \
+         queue depth high-water {}, {:.1}s wall",
+        s.jobs, s.resumed, s.failed, s.retries, s.workers, s.queue_depth_high_water, s.wall_seconds
+    );
+    if !outcome.failures.is_empty() {
+        for failure in &outcome.failures {
+            eprintln!("FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn cmd_drift(flags: &Flags) {
+    flags.expect_known("drift", &["dataset", "quick"]);
+    let quick = flags.has("quick");
+    let dataset = flags.dataset("dataset").unwrap_or(Dataset::Rcmnist);
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let stream = dataset.stream(0, scale);
     let detector = DriftDetector { threshold: 2.0, ..Default::default() };
@@ -186,14 +367,12 @@ fn cmd_drift(flags: &HashMap<String, String>) {
     println!("\n(reference distribution: task 0, environment '{}')", reference.env_name);
 }
 
-fn cmd_stats(flags: &HashMap<String, String>) {
-    let quick = flags.contains_key("quick");
+fn cmd_stats(flags: &Flags) {
+    flags.expect_known("stats", &["dataset", "quick"]);
+    let quick = flags.has("quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let datasets: Vec<Dataset> = match flags.get("dataset").map(String::as_str) {
-        Some(name) => vec![Dataset::from_name(name).unwrap_or_else(|| {
-            eprintln!("unknown dataset '{name}'");
-            std::process::exit(2);
-        })],
+    let datasets: Vec<Dataset> = match flags.dataset("dataset") {
+        Some(one) => vec![one],
         None => Dataset::ALL.to_vec(),
     };
     for dataset in datasets {
@@ -206,12 +385,14 @@ fn cmd_stats(flags: &HashMap<String, String>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("help");
-    let flags = parse_flags(&args);
+    let flags = Flags::parse(&args);
     match command {
         "list" => cmd_list(),
         "run" => cmd_run(&flags),
+        "grid" => cmd_grid(&flags),
         "drift" => cmd_drift(&flags),
         "stats" => cmd_stats(&flags),
-        _ => print!("{USAGE}"),
+        "help" | "--help" | "-h" => print!("{USAGE}"),
+        other => usage_error(&format!("unknown command '{other}'")),
     }
 }

@@ -23,6 +23,7 @@
 //! | [`fairness`] | relaxed fairness notion (Eq. 1), losses (Eqs. 8–9), DDP/EOD/MI |
 //! | [`data`] | the five simulated benchmark streams |
 //! | [`core`] | protocol, FACTION, 7 baselines, runner, theory validation |
+//! | [`engine`] | deterministic parallel execution: work-stealing pool, grid jobs, journal |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 pub use faction_core as core;
 pub use faction_data as data;
 pub use faction_density as density;
+pub use faction_engine as engine;
 pub use faction_fairness as fairness;
 pub use faction_linalg as linalg;
 pub use faction_nn as nn;
@@ -66,6 +68,7 @@ pub mod prelude {
     };
     pub use faction_data::datasets::Dataset;
     pub use faction_data::{Oracle, Sample, Scale, Task, TaskStream};
+    pub use faction_engine::{Engine, EngineConfig, ExperimentJob};
     pub use faction_density::{FairDensityConfig, FairDensityEstimator};
     pub use faction_fairness::{accuracy, ddp, eod, mutual_information, TotalLossConfig};
     pub use faction_linalg::{Matrix, SeedRng};
