@@ -1,12 +1,14 @@
 //! CLI for the determinism & numerics lint gate.
 //!
 //! ```text
-//! faction-analyzer [--root DIR] [--json]
+//! faction-analyzer [--root DIR] [--json] [--rule NAME]
 //! ```
 //!
 //! Scans the workspace at `--root` (default: the current directory),
 //! prints findings as `file:line:rule: message` lines (or a JSON report
-//! with `--json`), and exits nonzero when anything is flagged.
+//! with `--json`), and exits nonzero when anything is flagged. `--rule`
+//! restricts reporting (and the exit code) to one rule, so a CI stage can
+//! gate on a single guarantee — e.g. `--rule telemetry-on-hot-path`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -17,6 +19,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut rule: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,8 +31,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rule" => match args.next() {
+                Some(name) if faction_analyzer::rules::RULE_NAMES.contains(&name.as_str()) => {
+                    rule = Some(name);
+                }
+                Some(name) => {
+                    eprintln!(
+                        "faction-analyzer: unknown rule `{name}`; known rules: {}",
+                        faction_analyzer::rules::RULE_NAMES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("faction-analyzer: --rule requires a rule name");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: faction-analyzer [--root DIR] [--json]");
+                println!("usage: faction-analyzer [--root DIR] [--json] [--rule NAME]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -39,13 +58,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match faction_analyzer::analyze_workspace(&root) {
+    let mut report = match faction_analyzer::analyze_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("faction-analyzer: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = &rule {
+        // `bad-allow` findings naming the selected rule stay in: a broken
+        // suppression is a failure of the guarantee the stage gates on.
+        report
+            .findings
+            .retain(|f| &f.rule == rule || (f.rule == "bad-allow" && f.message.contains(rule)));
+    }
 
     if json {
         print!("{}", report.to_json());

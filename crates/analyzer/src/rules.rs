@@ -10,9 +10,16 @@
 //! | `nondeterministic-iteration` | all non-test code | `HashMap`/`HashSet` iteration order varies per process |
 //! | `unwrap-in-lib` | library crates | panics escape instead of `Result` propagation |
 //! | `float-eq` | all non-test code | `==`/`!=` on floats (except zero-guards) |
-//! | `banned-nondeterminism` | all (timing: non-bench) | `thread_rng`, wall-clock, seedless hashers |
+//! | `banned-nondeterminism` | all (timing: non-bench, non-lib) | `thread_rng`, wall-clock, seedless hashers |
 //! | `lossy-cast` | hot-path files | narrowing `as` casts silently drop precision |
 //! | `crate-hygiene` | crate roots | missing `#![deny(unsafe_code)]` / `#![warn(missing_docs)]` |
+//! | `telemetry-on-hot-path` | library crates (except telemetry) | ad-hoc wall-clock reads and shard-merging `.snapshot()` calls on instrumented paths |
+//!
+//! The two timing rules partition the workspace: wall-clock reads in
+//! library crates report as `telemetry-on-hot-path` (route them through
+//! `faction-telemetry`), everywhere else outside the bench crate as
+//! `banned-nondeterminism`. Exactly one rule fires per site, so a single
+//! `analyzer:allow` line always suffices.
 //!
 //! Findings on a line carrying (or directly below) a
 //! `// analyzer:allow(<rule>): <reason>` comment are suppressed; the reason
@@ -30,6 +37,7 @@ pub const RULE_NAMES: &[&str] = &[
     "banned-nondeterminism",
     "lossy-cast",
     "crate-hygiene",
+    "telemetry-on-hot-path",
 ];
 
 /// Classification of a scanned file; decides which rules apply.
@@ -47,6 +55,10 @@ pub struct FileClass {
     /// File is a designated numeric hot path (`linalg/src/kernels.rs`) —
     /// `lossy-cast` applies.
     pub hot_path: bool,
+    /// File belongs to the telemetry crate itself — it owns the one
+    /// sanctioned wall-clock read (its `Clock`) and the snapshot machinery,
+    /// so `telemetry-on-hot-path` is waived there.
+    pub telemetry_crate: bool,
 }
 
 /// One reported violation.
@@ -94,6 +106,9 @@ pub fn check_file(file: &str, lex: &mut LexOutput, class: &FileClass) -> CheckOu
     }
     if class.crate_root {
         rule_crate_hygiene(file, &lex.tokens, &mut raw);
+    }
+    if class.lib_crate && !class.telemetry_crate {
+        rule_telemetry_on_hot_path(file, &lex.tokens, &mask, &mut raw);
     }
 
     // Suppression: an allow on the finding's line or the line directly
@@ -399,7 +414,11 @@ fn rule_banned_nondeterminism(
                 && toks.get(i + 1).map(|p| p.is_punct("::")).unwrap_or(false)
                 && toks.get(i + 2).map(|m| m.is_ident("now")).unwrap_or(false)
         };
-        if !class.bench_crate && (path_now("Instant") || path_now("SystemTime")) {
+        // Library crates hand wall-clock findings to `telemetry-on-hot-path`
+        // (which also says where the timing *should* go); reporting here too
+        // would demand stacked allows on one line.
+        if !class.bench_crate && !class.lib_crate && (path_now("Instant") || path_now("SystemTime"))
+        {
             push(
                 out,
                 file,
@@ -494,5 +513,53 @@ fn rule_crate_hygiene(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
             "crate-hygiene",
             "crate root is missing `#![warn(missing_docs)]`".into(),
         );
+    }
+}
+
+/// Rule 7: instrumented library crates must not bypass `faction-telemetry`.
+///
+/// Two hazards on the paths the inertness tests protect: a raw
+/// `Instant::now()`/`SystemTime::now()` read (timing belongs in telemetry
+/// spans, where the no-op recorder costs two branches), and a
+/// `.snapshot()` call (it merges every registry shard under locks —
+/// report-time work that would serialize workers if it crept into a
+/// per-round or per-job path).
+fn rule_telemetry_on_hot_path(file: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let path_now = |name: &str| {
+            t.text == name
+                && toks.get(i + 1).map(|p| p.is_punct("::")).unwrap_or(false)
+                && toks.get(i + 2).map(|m| m.is_ident("now")).unwrap_or(false)
+        };
+        if path_now("Instant") || path_now("SystemTime") {
+            push(
+                out,
+                file,
+                t.line,
+                "telemetry-on-hot-path",
+                format!(
+                    "`{}::now()` in an instrumented library crate; route timing \
+                     through a faction-telemetry span so recording stays inert",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        let dotted = i > 0 && toks[i - 1].is_punct(".");
+        let called = toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false);
+        if dotted && called && t.text == "snapshot" {
+            push(
+                out,
+                file,
+                t.line,
+                "telemetry-on-hot-path",
+                "`.snapshot()` merges every registry shard under locks; call it at \
+                 report time, never on a per-round or per-job path"
+                    .into(),
+            );
+        }
     }
 }

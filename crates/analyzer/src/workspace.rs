@@ -16,8 +16,10 @@ use std::path::{Path, PathBuf};
 
 use crate::rules::FileClass;
 
-/// Crates where `unwrap-in-lib` applies: the reusable library layers.
-const LIB_CRATES: &[&str] = &["linalg", "density", "nn", "fairness", "data", "core", "engine"];
+/// Crates where `unwrap-in-lib` (and, outside `telemetry` itself,
+/// `telemetry-on-hot-path`) applies: the reusable library layers.
+const LIB_CRATES: &[&str] =
+    &["linalg", "density", "nn", "fairness", "data", "core", "engine", "telemetry"];
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
@@ -103,6 +105,7 @@ pub fn classify(crate_name: &str, display: &str) -> FileClass {
         bench_crate: crate_name == "bench",
         crate_root: display.ends_with("src/lib.rs"),
         hot_path: display.ends_with("linalg/src/kernels.rs"),
+        telemetry_crate: crate_name == "telemetry",
     }
 }
 
@@ -122,5 +125,8 @@ mod tests {
         assert!(!c.lib_crate && !c.crate_root);
         let c = classify("engine", "crates/engine/src/pool.rs");
         assert!(c.lib_crate && !c.bench_crate && !c.crate_root && !c.hot_path);
+        assert!(!c.telemetry_crate, "only the telemetry crate gets the waiver");
+        let c = classify("telemetry", "crates/telemetry/src/clock.rs");
+        assert!(c.lib_crate && c.telemetry_crate && !c.crate_root);
     }
 }

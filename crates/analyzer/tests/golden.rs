@@ -110,6 +110,57 @@ fn timing_rule_is_waived_in_bench_crate() {
 }
 
 #[test]
+fn telemetry_hot_path_fixture() {
+    let outcome =
+        run_fixture("telemetry_hot_path.rs", FileClass { lib_crate: true, ..Default::default() });
+    assert_eq!(outcome.suppressed, 1, "the grid-end snapshot allow suppresses once");
+}
+
+#[test]
+fn telemetry_rule_is_waived_in_the_telemetry_crate_and_outside_libs() {
+    let source = fixture("telemetry_hot_path.rs");
+    for class in [
+        FileClass { lib_crate: true, telemetry_crate: true, ..Default::default() },
+        FileClass::default(),
+    ] {
+        let outcome = analyze_source("telemetry_hot_path.rs", &source, &class);
+        assert!(
+            outcome.findings.iter().all(|f| f.rule != "telemetry-on-hot-path"),
+            "rule must only fire in non-telemetry library crates: {:?}",
+            outcome.findings
+        );
+    }
+}
+
+#[test]
+fn timing_rules_partition_the_workspace() {
+    // The same wall-clock sites report as telemetry-on-hot-path in a
+    // library crate and as banned-nondeterminism elsewhere — never both,
+    // so one analyzer:allow line always suffices.
+    let source = fixture("banned_nondet.rs");
+    let as_lib = analyze_source(
+        "banned_nondet.rs",
+        &source,
+        &FileClass { lib_crate: true, ..Default::default() },
+    );
+    let wall_clock_rules: Vec<&str> = as_lib
+        .findings
+        .iter()
+        .filter(|f| f.message.contains("::now()"))
+        .map(|f| f.rule.as_str())
+        .collect();
+    assert_eq!(
+        wall_clock_rules,
+        ["telemetry-on-hot-path", "telemetry-on-hot-path"],
+        "lib-crate wall-clock reads belong to the telemetry rule alone"
+    );
+    assert!(
+        as_lib.findings.iter().any(|f| f.rule == "banned-nondeterminism"),
+        "thread_rng/seedless hashers still report as banned-nondeterminism in libs"
+    );
+}
+
+#[test]
 fn lossy_cast_fixture() {
     run_fixture("lossy_cast.rs", FileClass { hot_path: true, ..Default::default() });
 }

@@ -12,15 +12,25 @@
 //! oversubscribed workers on a small host measure scheduling overhead, not
 //! scaling.
 //!
+//! Since PR 4 the harness also fills the scheduler section of
+//! `BENCH_PR4.json` (read-modify-write, shared with `perf_report`): one
+//! extra grid run at the highest worker count with a live telemetry
+//! registry, reporting the pool's steal/park/queue counters. The *timed*
+//! runs keep the no-op recorder so the speedup figures measure the
+//! uninstrumented engine.
+//!
 //! Usage: `cargo run --release --bin engine_scaling [-- --quick]`
 //! (`--quick` runs one repetition instead of taking the best of three).
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use faction_bench::pr4;
 use faction_core::ExperimentConfig;
 use faction_data::datasets::Dataset;
 use faction_data::Scale;
 use faction_engine::{Engine, EngineConfig, ExperimentJob};
+use faction_telemetry::{Handle, Registry};
 use serde::Serialize;
 
 /// One worker-count measurement.
@@ -97,7 +107,12 @@ fn main() {
     let mut baseline_seconds = 0.0;
     let mut points: Vec<ScalePoint> = Vec::new();
     for &workers in &worker_counts {
-        let engine = Engine::new(EngineConfig { workers, max_retries: 0, checkpoint_dir: None });
+        let engine = Engine::new(EngineConfig {
+            workers,
+            max_retries: 0,
+            checkpoint_dir: None,
+            recorder: Handle::noop(),
+        });
         let mut best_seconds = f64::INFINITY;
         let mut canonical = String::new();
         for _ in 0..reps {
@@ -143,6 +158,44 @@ fn main() {
              for the speedup figure."
         )
     };
+
+    // --- BENCH_PR4 scheduler section: one instrumented run ---------------
+    // Re-run the grid at the highest worker count with a live registry and
+    // verify the instrumented run is still byte-identical to the baseline
+    // (the inertness contract, exercised at bench scale).
+    let top_workers = *worker_counts.last().expect("at least one worker count");
+    let registry = Arc::new(Registry::new());
+    let instrumented = Engine::new(EngineConfig {
+        workers: top_workers,
+        max_retries: 0,
+        checkpoint_dir: None,
+        recorder: Handle::from(registry.clone()),
+    })
+    .run_grid(&jobs);
+    assert!(instrumented.failures.is_empty(), "instrumented grid must not fail");
+    assert_eq!(
+        baseline_json.as_deref(),
+        Some(instrumented.canonical_json().expect("records serialize").as_str()),
+        "recording must not change grid results"
+    );
+    let snapshot = registry.snapshot();
+    let counter = |key: &str| snapshot.counter(key).unwrap_or(0);
+    let job_run = snapshot.histogram("engine.pool.job_run_ns");
+    let scheduler = pr4::SchedulerSection {
+        workers: top_workers,
+        grid_jobs: jobs.len(),
+        jobs_completed: counter("engine.pool.jobs_completed"),
+        steals: counter("engine.pool.steals"),
+        park_waits: counter("engine.pool.park_waits"),
+        queue_high_water: snapshot.gauge("engine.pool.queue_high_water").map_or(0, |(_, hw)| hw),
+        job_run_ns_count: job_run.map_or(0, |h| h.count),
+        job_run_ns_sum: job_run.map_or(0, |h| h.sum),
+    };
+    let pr4_root = pr4::repo_root();
+    let mut bench4 = pr4::load(&pr4_root);
+    bench4.engine_scheduler = scheduler;
+    let pr4_out = pr4::save(&pr4_root, &bench4);
+    println!("wrote {} (scheduler section)", pr4_out.display());
 
     let report = ScalingReport {
         report: "BENCH_PR3".into(),

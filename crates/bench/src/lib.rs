@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod pr4;
+
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Mutex;

@@ -2,8 +2,9 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro with `arg in strategy` bindings, range strategies
-//! over `f64`/integers, [`collection::vec`], [`prelude::Just`],
-//! [`prop_oneof!`], `.prop_map(..)` and the `prop_assert*` macros.
+//! over `f64`/integers, tuple strategies (2–4 components),
+//! [`collection::vec`], [`prelude::Just`], [`prop_oneof!`],
+//! `.prop_map(..)` and the `prop_assert*` macros.
 //!
 //! Unlike upstream there is no shrinking: a failing case panics with the
 //! deterministic case seed in the standard assertion message, and cases are
@@ -149,6 +150,25 @@ pub mod strategy {
 
     impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    // Like upstream, a tuple of strategies is a strategy for tuples;
+    // components are sampled left to right.
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3)
+    );
+
     impl<S: Strategy + ?Sized> Strategy for Box<S> {
         type Value = S::Value;
         fn sample(&self, rng: &mut TestRng) -> S::Value {
@@ -258,9 +278,11 @@ pub fn any_f64() -> Range<f64> {
 
 /// Defines property tests: each `#[test] fn name(arg in strategy, ..) {..}`
 /// becomes a standard test running [`case_count`] deterministic cases.
+/// Bindings are irrefutable patterns, so tuple strategies can be
+/// destructured in place: `fn t((a, b) in (0u8..4, 0u8..4)) {..}`.
 #[macro_export]
 macro_rules! proptest {
-    ($( $(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+    ($( $(#[$meta:meta])+ fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block )*) => {
         $(
             $(#[$meta])+
             fn $name() {
@@ -336,6 +358,13 @@ mod tests {
         fn oneof_and_map(s in prop_oneof![Just(1i8), Just(-1i8)], y in (0u64..4).prop_map(|v| v * 2)) {
             prop_assert!(s == 1 || s == -1);
             prop_assert!(y % 2 == 0 && y < 8);
+        }
+
+        #[test]
+        fn tuple_strategy((a, b, c) in (0u8..4, -1.0..1.0f64, collection::vec(0u32..7, 1..3))) {
+            prop_assert!(a < 4);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!(!c.is_empty() && c.iter().all(|&v| v < 7));
         }
     }
 

@@ -33,6 +33,14 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Default for Value {
+    /// `Null`, matching upstream `serde_json::Value` — lets structs use
+    /// `#[serde(default)]` on `Value` fields.
+    fn default() -> Value {
+        Value::Null
+    }
+}
+
 impl Value {
     /// Borrow the object fields, if this value is an object.
     pub fn as_object(&self) -> Option<&[(String, Value)]> {

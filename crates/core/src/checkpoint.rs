@@ -323,6 +323,26 @@ mod tests {
     }
 
     #[test]
+    fn valid_json_prefix_with_trailing_garbage_is_rejected() {
+        // The nastier corruption shape: the file *starts* with a complete,
+        // parseable checkpoint and then carries trailing bytes (interrupted
+        // rewrite-in-place, concatenated writes). A parser that stops at
+        // the first complete value would silently resume from it; the
+        // loader must reject the whole file as corrupt instead.
+        let (mlp, pool) = trained_state();
+        let dir = std::env::temp_dir().join("faction_checkpoint_trailing_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        Checkpoint::capture(&mlp, &pool, 3).save(&path).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, format!("{full}{{\"version\":1}}")).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "got {err:?}");
+        assert!(err.to_string().contains("trailing"), "detail should say what failed: {err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn save_leaves_no_staging_file_behind() {
         let (mlp, pool) = trained_state();
         let dir = std::env::temp_dir().join("faction_checkpoint_staging_test");

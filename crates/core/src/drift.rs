@@ -64,6 +64,8 @@ impl DriftDetector {
         num_classes: usize,
         incoming_features: &Matrix,
     ) -> Result<DriftReport, DensityError> {
+        let _span = faction_telemetry::span("core.drift.check_ns");
+        faction_telemetry::counter_add("core.drift.checks", 1);
         let estimator = FairDensityEstimator::fit(
             pool_features,
             pool_labels,
@@ -78,6 +80,9 @@ impl DriftDetector {
         let reference_log_density = mean_of(pool_features)?;
         let mean_log_density = mean_of(incoming_features)?;
         let density_drop = reference_log_density - mean_log_density;
+        if density_drop > self.threshold {
+            faction_telemetry::counter_add("core.drift.detected", 1);
+        }
         Ok(DriftReport {
             mean_log_density,
             reference_log_density,

@@ -105,6 +105,8 @@ impl OnlineModel {
         if pool.is_empty() {
             return 0.0;
         }
+        faction_telemetry::counter_add("core.model.retrains", 1);
+        faction_telemetry::observe("core.model.retrain_pool_rows", pool.len() as u64);
         let losses = self.mlp.fit(
             pool.features(),
             pool.labels(),

@@ -10,11 +10,10 @@
 //! selection and training phases is recorded separately to reproduce the
 //! runtime decomposition of Fig. 5 / Table I.
 
-use std::time::Instant;
-
 use faction_data::{Oracle, Task, TaskStream};
 use faction_linalg::{Matrix, SeedRng};
 use faction_nn::MlpConfig;
+use faction_telemetry::{self as telemetry, Clock};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
@@ -138,9 +137,10 @@ pub fn run_experiment(
 ) -> RunRecord {
     // Wall-clock in this function is *measured output* for the Fig. 5
     // runtime decomposition; it never feeds control flow, so algorithmic
-    // results stay seed-deterministic.
-    // analyzer:allow(banned-nondeterminism): reporting-only run timer
-    let run_start = Instant::now();
+    // results stay seed-deterministic. All reads go through the telemetry
+    // Clock — the workspace's sanctioned wall-clock boundary.
+    let run_start = Clock::start();
+    telemetry::counter_add("core.runner.runs", 1);
     let mut rng = SeedRng::new(seed ^ 0x5EED_F00D);
     let mut pool = LabeledPool::new();
     let mut model = OnlineModel::new(arch, cfg, seed);
@@ -154,7 +154,9 @@ pub fn run_experiment(
             let s = &first.samples[i];
             pool.push(s.x.clone(), s.label, s.sensitive);
         }
+        let warm_train = Clock::start();
         model.retrain(&pool, loss.as_ref());
+        telemetry::observe_duration("core.runner.train_ns", warm_train.elapsed());
     }
 
     // Buffers reused across every acquisition round of every task.
@@ -162,9 +164,11 @@ pub fn run_experiment(
     let mut candidate_sensitives: Vec<i8> = Vec::new();
 
     for task in &stream.tasks {
-        // analyzer:allow(banned-nondeterminism): reporting-only task timer
-        let task_start = Instant::now();
+        let task_start = Clock::start();
+        telemetry::counter_add("core.runner.tasks", 1);
+        let eval_clock = Clock::start();
         let (accuracy, ddp, eod, mi, calibration_gap) = evaluate(&model, task);
+        telemetry::observe_duration("core.runner.eval_ns", eval_clock.elapsed());
 
         // Unlabeled candidates (warm-start samples excluded on task 0).
         let mut unlabeled: Vec<usize> = if task.id == 0 {
@@ -181,43 +185,71 @@ pub fn run_experiment(
             // The candidate feature/sensitive buffers are reused across
             // rounds — the unlabeled set only shrinks, so after round one
             // these fills allocate nothing.
-            // analyzer:allow(banned-nondeterminism): reporting-only selection timer
-            let select_start = Instant::now();
-            task.features_of_into(&unlabeled, &mut candidates);
-            candidate_sensitives.clear();
-            candidate_sensitives.extend(unlabeled.iter().map(|&i| task.samples[i].sensitive));
-            let ctx = SelectionContext {
-                model: &model,
-                pool: &pool,
-                candidates: &candidates,
-                candidate_sensitives: &candidate_sensitives,
-                num_classes: stream.num_classes,
-            };
-            let desirability = strategy.desirability(&ctx, &mut rng);
+            let select_start = Clock::start();
+            telemetry::counter_add("core.runner.rounds", 1);
+            let desirability;
+            let picked_local;
+            {
+                // Scoring sub-phase: feature extraction + strategy
+                // desirability (for FACTION this nests the GDA fit/score
+                // spans recorded inside the strategy itself).
+                let _score_span = telemetry::span("core.runner.score_ns");
+                task.features_of_into(&unlabeled, &mut candidates);
+                candidate_sensitives.clear();
+                candidate_sensitives.extend(unlabeled.iter().map(|&i| task.samples[i].sensitive));
+                let ctx = SelectionContext {
+                    model: &model,
+                    pool: &pool,
+                    candidates: &candidates,
+                    candidate_sensitives: &candidate_sensitives,
+                    num_classes: stream.num_classes,
+                };
+                desirability = strategy.desirability(&ctx, &mut rng);
+            }
             let batch = cfg
                 .acquisition_batch
                 .min(oracle.remaining())
                 .min(unlabeled.len());
-            let picked_local = acquire(&desirability, batch, strategy.mode(), &mut rng);
-            selection_seconds += select_start.elapsed().as_secs_f64();
+            {
+                // Query-decision sub-phase: which candidates get the budget.
+                let _acquire_span = telemetry::span("core.runner.acquire_ns");
+                picked_local = acquire(&desirability, batch, strategy.mode(), &mut rng);
+            }
+            let select_elapsed = select_start.elapsed();
+            selection_seconds += select_elapsed.as_secs_f64();
+            telemetry::observe_duration("core.runner.selection_ns", select_elapsed);
 
             // Query the oracle and grow the pool.
             let mut picked_global: Vec<usize> =
                 picked_local.iter().map(|&l| unlabeled[l]).collect();
             picked_global.sort_unstable();
+            let record_fairness = telemetry::recording();
             for &g in &picked_global {
                 if let Some(label) = oracle.query(g) {
                     let s = &task.samples[g];
+                    if record_fairness {
+                        // Per-(class, sensitive-group) label accounting —
+                        // the FairSBS-style decision-rate view of the
+                        // acquired labels. Key formatting is gated on an
+                        // enabled recorder so the no-op path allocates
+                        // nothing.
+                        telemetry::counter_add("core.oracle.queries", 1);
+                        telemetry::counter_add(
+                            &format!("core.fairness.labeled_y{}_s{}", label, s.sensitive),
+                            1,
+                        );
+                    }
                     pool.push(s.x.clone(), label, s.sensitive);
                 }
             }
             unlabeled.retain(|i| !picked_global.contains(i));
 
             // Retrain on the enlarged pool (Algorithm 1, lines 7–8).
-            // analyzer:allow(banned-nondeterminism): reporting-only training timer
-            let train_start = Instant::now();
+            let train_start = Clock::start();
             model.retrain(&pool, loss.as_ref());
-            training_seconds += train_start.elapsed().as_secs_f64();
+            let train_elapsed = train_start.elapsed();
+            training_seconds += train_elapsed.as_secs_f64();
+            telemetry::observe_duration("core.runner.train_ns", train_elapsed);
         }
 
         records.push(TaskRecord {

@@ -128,21 +128,27 @@ impl Faction {
         let FactionScratch { ws, pool_z, z, probs, density, log_density, gaps } = &mut *scratch;
         let mlp = ctx.model.mlp();
         // Fit G(z) on the pool's learned features (Algorithm 1, lines 9–18).
-        mlp.features_into(ctx.pool.features(), ws, pool_z);
-        let estimator = FairDensityEstimator::fit(
-            pool_z,
-            ctx.pool.labels(),
-            ctx.pool.sensitives(),
-            ctx.num_classes,
-            &self.params.density,
-        );
-        let estimator = match estimator {
-            Ok(e) => e,
-            // Degenerate pool (e.g. a single sample): no density signal yet;
-            // every candidate is equally desirable.
-            Err(_) => return vec![0.0; n],
+        let estimator = {
+            let _fit_span = faction_telemetry::span("core.faction.gda_fit_ns");
+            mlp.features_into(ctx.pool.features(), ws, pool_z);
+            let estimator = FairDensityEstimator::fit(
+                pool_z,
+                ctx.pool.labels(),
+                ctx.pool.sensitives(),
+                ctx.num_classes,
+                &self.params.density,
+            );
+            match estimator {
+                Ok(e) => e,
+                // Degenerate pool (e.g. a single sample): no density signal
+                // yet; every candidate is equally desirable.
+                Err(_) => return vec![0.0; n],
+            }
         };
+        let feature_span = faction_telemetry::span("core.faction.features_ns");
         mlp.features_into(ctx.candidates, ws, z);
+        drop(feature_span);
+        let _score_span = faction_telemetry::span("core.faction.gda_score_ns");
         log_density.clear();
         log_density.resize(n, 0.0);
         let mut scores = Vec::with_capacity(n);

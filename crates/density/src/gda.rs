@@ -125,6 +125,8 @@ impl FairDensityEstimator {
         if n == 0 {
             return Err(DensityError::NoData);
         }
+        faction_telemetry::counter_add("density.gda.fits", 1);
+        faction_telemetry::observe("density.gda.fit_rows", n as u64);
         if labels.len() != n {
             return Err(DensityError::DimensionMismatch { expected: n, got: labels.len() });
         }
@@ -174,6 +176,9 @@ impl FairDensityEstimator {
             let log_prior = (indices.len() as f64 / n as f64).ln();
             components.push((key, gaussian, log_prior));
         }
+        // One Cholesky factorization per component (shared-covariance mode
+        // still re-factors per mean).
+        faction_telemetry::counter_add("density.gda.cholesky_factors", components.len() as u64);
         // BTreeMap iteration is already key-sorted, which is exactly the
         // component order the struct documents.
         Ok(FairDensityEstimator {
@@ -355,6 +360,8 @@ impl FairDensityEstimator {
         if out.len() != n {
             return Err(DensityError::DimensionMismatch { expected: n, got: out.len() });
         }
+        faction_telemetry::counter_add("density.gda.log_density_batches", 1);
+        faction_telemetry::observe("density.gda.log_density_batch_rows", n as u64);
         self.component_log_pdfs(features, scratch)?;
         let DensityScratch { comp_lp, terms, .. } = scratch;
         for (i, o) in out.iter_mut().enumerate() {
@@ -392,6 +399,8 @@ impl FairDensityEstimator {
         if log_density.len() != n {
             return Err(DensityError::DimensionMismatch { expected: n, got: log_density.len() });
         }
+        faction_telemetry::counter_add("density.gda.score_batches", 1);
+        faction_telemetry::observe("density.gda.score_batch_rows", n as u64);
         self.component_log_pdfs(features, scratch)?;
         let DensityScratch { comp_lp, terms, .. } = scratch;
         for (i, o) in log_density.iter_mut().enumerate() {

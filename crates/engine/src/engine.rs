@@ -21,8 +21,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
-use faction_core::checkpoint::RunCheckpoint;
+use faction_core::checkpoint::{CheckpointError, RunCheckpoint};
 use faction_core::RunRecord;
+use faction_telemetry::Handle;
 
 use crate::job::ExperimentJob;
 use crate::journal::{Journal, JournalSummary};
@@ -39,11 +40,21 @@ pub struct EngineConfig {
     /// When set, completed grid jobs are checkpointed here as
     /// `<key>.run.json` and finished work is skipped on the next run.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Telemetry sink. The default is the no-op recorder; install a
+    /// `faction_telemetry::Registry` handle to collect engine counters and
+    /// the per-phase histograms recorded inside job bodies (the engine
+    /// installs this handle as the ambient scope around each job).
+    pub recorder: Handle,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: resolve_workers(None), max_retries: 1, checkpoint_dir: None }
+        EngineConfig {
+            workers: resolve_workers(None),
+            max_retries: 1,
+            checkpoint_dir: None,
+            recorder: Handle::noop(),
+        }
     }
 }
 
@@ -112,6 +123,12 @@ impl GridOutcome {
     }
 }
 
+/// Converts a measured duration to nanoseconds for histogram recording
+/// (`as` casts from `f64` saturate, so out-of-range values clamp safely).
+fn seconds_to_ns(seconds: f64) -> u64 {
+    (seconds * 1e9) as u64
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -159,30 +176,44 @@ impl Engine {
         let results: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
         let attempts: Vec<AtomicU32> = jobs.iter().map(|_| AtomicU32::new(0)).collect();
+        let recorder = &self.config.recorder;
 
-        let stats = run_indexed(self.config.workers, jobs.len(), |ctx, idx| {
+        let stats = run_indexed(self.config.workers, jobs.len(), recorder, |ctx, idx| {
+            // Install the engine's recorder as the ambient telemetry scope
+            // for the job body: leaf code (runner phases, GDA scoring, NN
+            // training) records through the free functions without any
+            // handle threading. Dropped before journal bookkeeping ends so
+            // a panic cannot leak the scope onto the worker.
+            let scope = recorder.enter();
             let attempt = attempts[idx].fetch_add(1, Ordering::SeqCst) + 1;
             let key = label(idx);
+            recorder.counter_add("engine.pool.jobs_started", 1);
             journal.record(&key, "started", attempt, ctx.worker, 0.0, "");
             let t0 = journal.elapsed_seconds();
             let outcome = catch_unwind(AssertUnwindSafe(|| exec(&jobs[idx])));
             let seconds = journal.elapsed_seconds() - t0;
+            drop(scope);
+            recorder.observe("engine.pool.job_run_ns", seconds_to_ns(seconds));
             match outcome {
                 Ok(Ok(result)) => {
                     *lock(&results[idx]) = Some(result);
+                    recorder.counter_add("engine.pool.jobs_completed", 1);
                     journal.record(&key, "finished", attempt, ctx.worker, seconds, "");
                 }
                 Ok(Err(message)) => {
                     // Structured errors are deterministic: fail immediately.
+                    recorder.counter_add("engine.pool.jobs_failed", 1);
                     journal.record(&key, "failed", attempt, ctx.worker, seconds, &message);
                     lock(&failures).push(JobFailure { index: idx, key, attempts: attempt, message });
                 }
                 Err(payload) => {
                     let message = panic_message(payload);
                     if attempt <= self.config.max_retries {
+                        recorder.counter_add("engine.pool.jobs_retried", 1);
                         journal.record(&key, "retried", attempt, ctx.worker, seconds, &message);
                         ctx.requeue_current(idx);
                     } else {
+                        recorder.counter_add("engine.pool.jobs_failed", 1);
                         journal.record(&key, "failed", attempt, ctx.worker, seconds, &message);
                         lock(&failures)
                             .push(JobFailure { index: idx, key, attempts: attempt, message });
@@ -208,6 +239,21 @@ impl Engine {
         F: Fn(&J) -> Result<R, String> + Sync,
     {
         self.run_batch_labeled(jobs, |idx| format!("job-{idx}"), exec)
+    }
+
+    /// The `engine.*` slice of the configured recorder's snapshot as a JSON
+    /// value for the journal summary (`Null` with the no-op recorder).
+    /// Grid-end reporting only — never called on the job result path.
+    fn engine_metrics(&self) -> serde_json::Value {
+        // analyzer:allow(telemetry-on-hot-path): report-time snapshot at grid end, not on a hot path
+        let Some(snapshot) = self.config.recorder.snapshot() else {
+            return serde_json::Value::Null;
+        };
+        let engine_slice = snapshot.filter_prefix("engine.");
+        if engine_slice.is_empty() {
+            return serde_json::Value::Null;
+        }
+        serde_json::parse_value(&engine_slice.to_json()).unwrap_or(serde_json::Value::Null)
     }
 
     /// Runs an experiment grid: validates strategy names up front, resumes
@@ -237,14 +283,29 @@ impl Engine {
             }
             if let Some(dir) = &self.config.checkpoint_dir {
                 let path = dir.join(format!("{key}.run.json"));
-                if let Ok(ckpt) = RunCheckpoint::load(&path) {
-                    // Guard against key collisions from a foreign grid
-                    // sharing the directory.
-                    if ckpt.record.dataset == job.dataset.name() && ckpt.record.seed == job.seed {
-                        journal.record(&key, "resumed", 0, 0, 0.0, "");
-                        records[idx] = Some(ckpt.record);
-                        resumed += 1;
-                        continue;
+                match RunCheckpoint::load(&path) {
+                    Ok(ckpt) => {
+                        // Guard against key collisions from a foreign grid
+                        // sharing the directory.
+                        if ckpt.record.dataset == job.dataset.name() && ckpt.record.seed == job.seed
+                        {
+                            journal.record(&key, "resumed", 0, 0, 0.0, "");
+                            self.config.recorder.counter_add("engine.checkpoint.salvaged", 1);
+                            records[idx] = Some(ckpt.record);
+                            resumed += 1;
+                            continue;
+                        }
+                    }
+                    Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                        // First run of this job: nothing to resume.
+                    }
+                    Err(e) => {
+                        // A present-but-unreadable checkpoint (truncated
+                        // write, version skew, garbage) is worth surfacing:
+                        // the job silently re-runs, but the journal and the
+                        // `engine.checkpoint.corrupt` counter record why.
+                        journal.record(&key, "checkpoint-corrupt", 0, 0, 0.0, &e.to_string());
+                        self.config.recorder.counter_add("engine.checkpoint.corrupt", 1);
                     }
                 }
             }
@@ -284,8 +345,9 @@ impl Engine {
         }
         failures.sort_by_key(|f| f.index);
 
-        let summary = journal.summarize(jobs.len(), outcome.stats);
-        let journal_jsonl = journal.render_jsonl(jobs.len(), outcome.stats);
+        let summary =
+            journal.summarize_with_metrics(jobs.len(), outcome.stats, self.engine_metrics());
+        let journal_jsonl = journal.render_jsonl_with_summary(&summary);
         GridOutcome {
             records,
             failures,

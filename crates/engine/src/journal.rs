@@ -14,8 +14,8 @@
 //! are pure functions of job values; see `DESIGN.md` §8).
 
 use std::sync::Mutex;
-use std::time::Instant;
 
+use faction_telemetry::Clock;
 use serde::{Deserialize, Serialize};
 
 use crate::pool::{lock, PoolStats};
@@ -58,12 +58,18 @@ pub struct JournalSummary {
     pub queue_depth_high_water: usize,
     /// Batch wall-clock seconds.
     pub wall_seconds: f64,
+    /// Engine-level telemetry block (`engine.*` metrics as rendered by
+    /// `faction_telemetry::Snapshot::to_json`); `null` when the batch ran
+    /// without a recording sink. Observability output only — excluded from
+    /// the determinism contract like every other timing field here.
+    #[serde(default)]
+    pub metrics: serde_json::Value,
 }
 
 /// Thread-safe event collector for one engine batch.
 #[derive(Debug)]
 pub struct Journal {
-    start: Instant,
+    start: Clock,
     events: Mutex<Vec<JobEvent>>,
 }
 
@@ -71,19 +77,19 @@ impl Journal {
     /// Starts an empty journal; `t_ms` stamps are relative to this call.
     pub fn start() -> Journal {
         // Wall-clock here is observability output only (event timestamps /
-        // durations); it never influences scheduling decisions or results.
-        // analyzer:allow(banned-nondeterminism): journal timestamps are reporting-only
-        Journal { start: Instant::now(), events: Mutex::new(Vec::new()) }
+        // durations); it never influences scheduling decisions or results —
+        // the telemetry Clock is the workspace's sanctioned read point.
+        Journal { start: Clock::start(), events: Mutex::new(Vec::new()) }
     }
 
     /// Milliseconds elapsed since the journal started.
     pub fn elapsed_ms(&self) -> u64 {
-        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+        self.start.elapsed_ms()
     }
 
     /// Seconds elapsed since the journal started.
     pub fn elapsed_seconds(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+        self.start.elapsed_seconds()
     }
 
     /// Appends one event, stamping it with the current relative time.
@@ -113,6 +119,16 @@ impl Journal {
 
     /// Builds the batch summary from the recorded events plus pool stats.
     pub fn summarize(&self, jobs: usize, stats: PoolStats) -> JournalSummary {
+        self.summarize_with_metrics(jobs, stats, serde_json::Value::Null)
+    }
+
+    /// [`Self::summarize`] with an attached telemetry metrics block.
+    pub fn summarize_with_metrics(
+        &self,
+        jobs: usize,
+        stats: PoolStats,
+        metrics: serde_json::Value,
+    ) -> JournalSummary {
         let events = lock(&self.events);
         let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
         JournalSummary {
@@ -124,12 +140,19 @@ impl Journal {
             workers: stats.workers,
             queue_depth_high_water: stats.queue_high_water,
             wall_seconds: self.elapsed_seconds(),
+            metrics,
         }
     }
 
     /// Renders the journal as JSON lines: one event per line, then the
     /// summary object as the final line.
     pub fn render_jsonl(&self, jobs: usize, stats: PoolStats) -> String {
+        self.render_jsonl_with_summary(&self.summarize(jobs, stats))
+    }
+
+    /// [`Self::render_jsonl`] against a prebuilt summary (so callers that
+    /// attach a metrics block render the same summary they return).
+    pub fn render_jsonl_with_summary(&self, summary: &JournalSummary) -> String {
         let mut out = String::new();
         for event in self.events() {
             if let Ok(line) = serde_json::to_string(&event) {
@@ -137,7 +160,7 @@ impl Journal {
                 out.push('\n');
             }
         }
-        if let Ok(line) = serde_json::to_string(&self.summarize(jobs, stats)) {
+        if let Ok(line) = serde_json::to_string(summary) {
             out.push_str(&line);
             out.push('\n');
         }

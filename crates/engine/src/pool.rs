@@ -30,6 +30,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+use faction_telemetry::Handle;
+
 /// Locks a mutex, tolerating poisoning: a panicking job is isolated by
 /// `catch_unwind` in the executor, but if a panic ever does fly through a
 /// critical section the queue state itself (plain `VecDeque`s and counters)
@@ -66,10 +68,13 @@ struct Scheduler {
     deques: Vec<Mutex<VecDeque<usize>>>,
     park: Mutex<ParkState>,
     cv: Condvar,
+    /// Telemetry sink for scheduling events (steals, parks, injector
+    /// depth). Write-only: scheduling decisions never read it back.
+    recorder: Handle,
 }
 
 impl Scheduler {
-    fn new(workers: usize, jobs: usize) -> Scheduler {
+    fn new(workers: usize, jobs: usize, recorder: Handle) -> Scheduler {
         let mut deques = Vec::with_capacity(workers);
         for _ in 0..workers {
             deques.push(Mutex::new(VecDeque::new()));
@@ -79,6 +84,7 @@ impl Scheduler {
             deques,
             park: Mutex::new(ParkState { queued: 0, outstanding: 0, high_water: 0 }),
             cv: Condvar::new(),
+            recorder,
         };
         // Seed round-robin across the worker deques: deterministic layout,
         // and with one worker it degenerates to pure submission order.
@@ -101,7 +107,13 @@ impl Scheduler {
     /// Pushes a requeued job (a retry) onto the global injector and wakes a
     /// parked worker. `outstanding` is unchanged: the job was never retired.
     fn requeue(&self, idx: usize) {
-        lock(&self.injector).push_back(idx);
+        let depth = {
+            let mut inj = lock(&self.injector);
+            inj.push_back(idx);
+            inj.len()
+        };
+        self.recorder.counter_add("engine.pool.requeues", 1);
+        self.recorder.gauge_set("engine.pool.injector_depth", depth as u64);
         let mut p = lock(&self.park);
         p.queued += 1;
         p.high_water = p.high_water.max(p.queued);
@@ -137,6 +149,7 @@ impl Scheduler {
             let victim = (worker + off) % n;
             if let Some(idx) = lock(&self.deques[victim]).pop_back() {
                 self.note_popped();
+                self.recorder.counter_add("engine.pool.steals", 1);
                 return Some(idx);
             }
         }
@@ -154,6 +167,9 @@ impl Scheduler {
             if p.queued > 0 {
                 return true;
             }
+            // Count the wait *before* taking it: the park lock is held, so
+            // the counter must be an independent sink, never this lock.
+            self.recorder.counter_add("engine.pool.park_waits", 1);
             let (guard, _timeout) = self
                 .cv
                 .wait_timeout(p, std::time::Duration::from_millis(50))
@@ -192,8 +208,10 @@ impl WorkerCtx<'_> {
 
 /// Runs job indices `0..count` on `workers` threads. `body` is invoked once
 /// per scheduled execution (so a requeued index runs again) and may borrow
-/// from the caller's stack. Returns pool statistics.
-pub(crate) fn run_indexed<F>(workers: usize, count: usize, body: F) -> PoolStats
+/// from the caller's stack. Scheduling events are recorded to `recorder`
+/// (steals, park waits, injector depth, queue high-water); pass
+/// `Handle::noop()` to record nothing. Returns pool statistics.
+pub(crate) fn run_indexed<F>(workers: usize, count: usize, recorder: &Handle, body: F) -> PoolStats
 where
     F: Fn(&WorkerCtx<'_>, usize) + Sync,
 {
@@ -201,7 +219,7 @@ where
     if count == 0 {
         return PoolStats { workers, queue_high_water: 0 };
     }
-    let scheduler = Scheduler::new(workers, count);
+    let scheduler = Scheduler::new(workers, count, recorder.clone());
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let scheduler = &scheduler;
@@ -229,6 +247,9 @@ where
         }
     });
     let p = lock(&scheduler.park);
+    recorder.counter_add("engine.pool.batches", 1);
+    recorder.gauge_set("engine.pool.workers", workers as u64);
+    recorder.gauge_set("engine.pool.queue_high_water", p.high_water as u64);
     PoolStats { workers, queue_high_water: p.high_water }
 }
 
@@ -242,7 +263,7 @@ where
     T: Sync,
     F: Fn(usize, &T) + Sync,
 {
-    run_indexed(workers, items.len(), |_, idx| f(idx, &items[idx]))
+    run_indexed(workers, items.len(), &Handle::noop(), |_, idx| f(idx, &items[idx]))
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use faction_engine::{Engine, EngineConfig};
 
 fn engine(workers: usize, max_retries: u32) -> Engine {
-    Engine::new(EngineConfig { workers, max_retries, checkpoint_dir: None })
+    Engine::new(EngineConfig { workers, max_retries, ..EngineConfig::default() })
 }
 
 #[test]

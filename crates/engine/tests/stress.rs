@@ -1,0 +1,175 @@
+//! Stress: a 200-job batch with deterministic injected panics, plus a grid
+//! resume over a corrupted checkpoint directory. Every failure-path ledger —
+//! the event journal, the telemetry counters, the failure list, and the
+//! attempt bookkeeping — must tell the same story.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use faction_data::datasets::Dataset;
+use faction_data::Scale;
+use faction_engine::job::ArchPreset;
+use faction_engine::{Engine, EngineConfig, ExperimentJob, JobEvent};
+use faction_telemetry::{Handle, Registry};
+
+/// Panics on every attempt: exhausts the retry bound and fails.
+fn doomed(i: usize) -> bool {
+    i % 31 == 5
+}
+
+/// Panics on the first attempt only: succeeds after one retry.
+fn flaky(i: usize) -> bool {
+    i % 7 == 0 && !doomed(i)
+}
+
+#[test]
+fn stress_batch_journal_counters_and_results_agree() {
+    const JOBS: usize = 200;
+    const MAX_RETRIES: u32 = 2;
+    let doomed_count = (0..JOBS).filter(|&i| doomed(i)).count();
+    let flaky_count = (0..JOBS).filter(|&i| flaky(i)).count();
+    assert!(doomed_count > 0 && flaky_count > 0, "stress fixture lost its failure mix");
+    let expected_retries = flaky_count + doomed_count * MAX_RETRIES as usize;
+    let expected_started = JOBS + expected_retries;
+    let expected_completed = JOBS - doomed_count;
+
+    let registry = Arc::new(Registry::new());
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        max_retries: MAX_RETRIES,
+        checkpoint_dir: None,
+        recorder: Handle::from(registry.clone()),
+    });
+    let attempts: Vec<AtomicU32> = (0..JOBS).map(|_| AtomicU32::new(0)).collect();
+    let jobs: Vec<usize> = (0..JOBS).collect();
+    let outcome = engine.run_batch(&jobs, |&i| {
+        let attempt = attempts[i].fetch_add(1, Ordering::SeqCst) + 1;
+        if doomed(i) || (flaky(i) && attempt == 1) {
+            panic!("injected panic: job {i} attempt {attempt}");
+        }
+        Ok::<usize, String>(i * i)
+    });
+
+    // Results: failed slots empty, surviving slots correct.
+    for (i, slot) in outcome.results.iter().enumerate() {
+        if doomed(i) {
+            assert!(slot.is_none(), "doomed job {i} must not produce a result");
+        } else {
+            assert_eq!(*slot, Some(i * i), "job {i}");
+        }
+    }
+    assert_eq!(outcome.failures.len(), doomed_count);
+    for failure in &outcome.failures {
+        assert!(doomed(failure.index));
+        assert_eq!(failure.attempts, MAX_RETRIES + 1);
+        assert!(failure.message.contains("injected panic"), "{}", failure.message);
+    }
+
+    // Attempt bookkeeping: the test's own ledger of executions.
+    let total_attempts: u32 = attempts.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+    assert_eq!(total_attempts as usize, expected_started);
+
+    // Journal events agree with the ledger.
+    let events = outcome.journal.events();
+    let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+    assert_eq!(count("started"), expected_started);
+    assert_eq!(count("retried"), expected_retries);
+    assert_eq!(count("failed"), doomed_count);
+    assert_eq!(count("finished"), expected_completed);
+    let summary = outcome.journal.summarize(JOBS, outcome.stats);
+    assert_eq!(summary.failed, doomed_count);
+    assert_eq!(summary.retries as usize, expected_retries);
+    assert_eq!(summary.finished, expected_completed);
+
+    // Telemetry counters agree with the journal.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("engine.pool.jobs_started"), Some(expected_started as u64));
+    assert_eq!(snapshot.counter("engine.pool.jobs_retried"), Some(expected_retries as u64));
+    assert_eq!(snapshot.counter("engine.pool.jobs_failed"), Some(doomed_count as u64));
+    assert_eq!(snapshot.counter("engine.pool.jobs_completed"), Some(expected_completed as u64));
+    // Every retry passes through the injector.
+    assert_eq!(snapshot.counter("engine.pool.requeues"), Some(expected_retries as u64));
+    let run_hist = snapshot.histogram("engine.pool.job_run_ns").expect("job duration histogram");
+    assert_eq!(run_hist.count as usize, expected_started);
+}
+
+fn tiny_job(dataset: Dataset, strategy: &str, seed: u64) -> ExperimentJob {
+    let cfg = faction_core::ExperimentConfig {
+        budget: 20,
+        acquisition_batch: 10,
+        warm_start: 20,
+        epochs_per_iteration: 2,
+        train_batch_size: 32,
+        learning_rate: 0.05,
+        ..faction_core::ExperimentConfig::quick()
+    };
+    let mut job = ExperimentJob::new(dataset, strategy, seed, cfg, Scale::Quick);
+    job.arch = ArchPreset::Tiny;
+    job.truncate_tasks = Some(2);
+    job.truncate_samples = Some(80);
+    job
+}
+
+#[test]
+fn grid_resume_over_corrupt_checkpoint_reconciles_all_ledgers() {
+    let dir = std::env::temp_dir().join(format!("faction_engine_stress_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let grid = vec![
+        tiny_job(Dataset::Nysf, "random", 0),
+        tiny_job(Dataset::Nysf, "entropy", 0),
+        tiny_job(Dataset::Rcmnist, "random", 1),
+    ];
+    let config = |recorder: Handle| EngineConfig {
+        workers: 2,
+        checkpoint_dir: Some(dir.clone()),
+        recorder,
+        ..EngineConfig::default()
+    };
+
+    let first = Engine::new(config(Handle::noop())).run_grid(&grid);
+    assert!(first.failures.is_empty(), "{:?}", first.failures);
+
+    // Corrupt one checkpoint the nasty way: keep a fully valid JSON prefix
+    // and append garbage, as an interrupted rewrite-in-place would.
+    let victim = dir.join(format!("{}.run.json", grid[1].key()));
+    let valid = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, format!("{valid}{{\"version\":1}}")).unwrap();
+
+    let registry = Arc::new(Registry::new());
+    let second = Engine::new(config(Handle::from(registry.clone()))).run_grid(&grid);
+    assert!(second.failures.is_empty(), "{:?}", second.failures);
+
+    // Checkpoint state: two jobs resumed, the corrupted one re-ran.
+    assert_eq!(second.resumed, grid.len() - 1);
+    assert_eq!(second.summary.resumed, grid.len() - 1);
+    assert_eq!(second.summary.finished, grid.len());
+
+    // Journal: exactly one corruption event, naming the victim job.
+    let corrupt_events: Vec<JobEvent> = second
+        .journal_jsonl
+        .lines()
+        .filter_map(|l| serde_json::from_str::<JobEvent>(l).ok())
+        .filter(|e| e.kind == "checkpoint-corrupt")
+        .collect();
+    assert_eq!(corrupt_events.len(), 1);
+    assert_eq!(corrupt_events[0].job, grid[1].key());
+    assert!(corrupt_events[0].detail.contains("corrupt"), "{}", corrupt_events[0].detail);
+
+    // Telemetry agrees with both.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("engine.checkpoint.salvaged"), Some((grid.len() - 1) as u64));
+    assert_eq!(snapshot.counter("engine.checkpoint.corrupt"), Some(1));
+    assert_eq!(snapshot.counter("engine.pool.jobs_completed"), Some(1));
+
+    // And the re-run healed the checkpoint: a third run resumes everything.
+    let third = Engine::new(config(Handle::noop())).run_grid(&grid);
+    assert_eq!(third.resumed, grid.len());
+    assert_eq!(
+        first.canonical_json().unwrap(),
+        third.canonical_json().unwrap(),
+        "corruption recovery must not change results"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

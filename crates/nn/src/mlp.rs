@@ -262,6 +262,7 @@ impl Mlp {
         opt: &mut dyn Optimizer,
         ws: &mut MlpWorkspace,
     ) -> f64 {
+        faction_telemetry::counter_add("nn.train.steps", 1);
         let n_layers = self.layers.len();
         self.forward_with(x, ws);
         let logits = &ws.pres[n_layers - 1];

@@ -63,6 +63,10 @@ pub fn estimate_sigma(w: &Matrix, u: &mut [f64], iterations: u32) -> f64 {
 /// Enforces the spectral cap on a dense layer in place. Returns the sigma
 /// estimate before rescaling (diagnostics).
 pub fn enforce(layer: &mut Dense, cfg: &SpectralConfig) -> f64 {
+    faction_telemetry::counter_add(
+        "nn.spectral.power_iterations",
+        u64::from(cfg.power_iterations),
+    );
     let mut u = std::mem::take(&mut layer.power_u);
     let sigma = estimate_sigma(&layer.w, &mut u, cfg.power_iterations);
     layer.power_u = u;

@@ -1,0 +1,45 @@
+//! faction-telemetry: zero-dependency observability with an inertness
+//! contract.
+//!
+//! The workspace's headline guarantee (PR 2/3) is that run results are pure
+//! functions of `(dataset, strategy, seed, config)` — byte-identical at any
+//! worker count. Instrumentation must therefore be **provably inert**: it
+//! may observe the computation but never perturb it. This crate enforces
+//! that structurally:
+//!
+//! * Hot paths talk to a [`Recorder`] trait whose default implementation
+//!   ([`NoopRecorder`]) does nothing; a recorder carries no RNG and its
+//!   state is never read back on the result path.
+//! * Wall-clock access is confined to this crate ([`Clock`] / [`span`]) so
+//!   the analyzer's `telemetry-on-hot-path` rule can ban `Instant::now()`
+//!   everywhere else in library code.
+//! * The thread-safe [`Registry`] shards writes per thread and merges
+//!   shards by sorted key at snapshot time, so a [`Snapshot`] renders
+//!   byte-stably regardless of scheduling.
+//!
+//! Metric names follow `crate.component.metric` (e.g.
+//! `engine.pool.steals`, `core.runner.train_ns`); histogram keys carrying
+//! nanosecond timings end in `_ns`, which is what
+//! [`Snapshot::canonicalized`] keys on when zeroing wall-clock-dependent
+//! fields for cross-run comparison.
+//!
+//! The proof that all of this changes nothing lives in
+//! `tests/inertness.rs`: canonicalized engine grids are byte-identical with
+//! recording on vs. off, at one worker and at eight.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod metrics;
+mod recorder;
+mod registry;
+mod scope;
+
+pub use clock::Clock;
+pub use metrics::{bucket_index, bucket_lower_bound, Histogram, MetricValue, BUCKETS};
+pub use recorder::{Handle, NoopRecorder, Recorder};
+pub use registry::{Registry, Snapshot};
+pub use scope::{
+    counter_add, gauge_set, observe, observe_duration, recording, span, ScopeGuard, SpanTimer,
+};

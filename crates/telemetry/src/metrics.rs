@@ -1,0 +1,205 @@
+//! The three metric primitives: monotonic counters, gauges with high-water
+//! marks, and fixed-bucket log2 histograms.
+//!
+//! All arithmetic saturates: a metric can never panic (overflow checks are
+//! on in every test profile) and never wraps into a misleading small value.
+//! Saturating addition over `u64` is associative and commutative, which is
+//! what makes shard merging order-independent — the property the proptests
+//! in `tests/proptests.rs` pin down.
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `2^63` (so every `u64` has a bucket).
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0` holds exactly `0`, bucket `i >= 1` holds
+/// `[2^(i-1), 2^i)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (see [`bucket_index`]).
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// Fixed-bucket histogram with exact count/sum/min/max.
+///
+/// Buckets are log2-spaced — the standard latency-histogram layout: the
+/// index of a value is its bit length, so recording is a `leading_zeros`
+/// plus one increment, with no search and no allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Values recorded (saturating).
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest recorded value (`0` while empty).
+    pub max: u64,
+    /// Per-bucket counts (saturating); see [`bucket_index`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let b = &mut self.buckets[bucket_index(value)];
+        *b = b.saturating_add(1);
+    }
+
+    /// Merges another histogram into this one (elementwise, saturating).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+
+    /// `min` with the empty-histogram sentinel mapped to `0` for display.
+    pub fn display_min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded values (`0.0` while empty). Exact only while `sum`
+    /// has not saturated; display convenience, never fed back into logic.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named metric's state: the registry stores these, and a
+/// [`crate::Snapshot`] exposes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter (saturating add).
+    Counter(u64),
+    /// Last-set value plus the largest value ever set.
+    Gauge {
+        /// Most recent `gauge_set` value.
+        value: u64,
+        /// High-water mark across all `gauge_set` calls.
+        high_water: u64,
+    },
+    /// Log2-bucket histogram. Boxed so the common counter/gauge entries
+    /// stay pointer-sized instead of carrying the 65-bucket array inline.
+    Histogram(Box<Histogram>),
+}
+
+impl MetricValue {
+    /// Merges `other` into `self`.
+    ///
+    /// Counters add, gauge high-waters max (the merged `value` is also the
+    /// max — "last write" is meaningless across shards, the maximum is the
+    /// only schedule-independent choice), histograms merge elementwise.
+    /// A kind mismatch keeps `self` unchanged: the naming contract assigns
+    /// each key exactly one kind, so a mismatch is a caller bug that must
+    /// not be able to corrupt unrelated state.
+    pub fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.saturating_add(*b),
+            (
+                MetricValue::Gauge { value: av, high_water: ah },
+                MetricValue::Gauge { value: bv, high_water: bh },
+            ) => {
+                *av = (*av).max(*bv);
+                *ah = (*ah).max(*bh);
+            }
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "value below bucket {i} lands one lower");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_exact_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.display_min(), 0);
+        for v in [3u64, 9, 0, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1036);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[2], 1); // 3
+        assert_eq!(h.buckets[4], 1); // 9
+        assert_eq!(h.buckets[11], 1); // 1024
+        assert!((h.mean() - 259.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_never_wraps() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+        let mut c = MetricValue::Counter(u64::MAX - 1);
+        c.merge(&MetricValue::Counter(5));
+        assert_eq!(c, MetricValue::Counter(u64::MAX));
+    }
+
+    #[test]
+    fn mismatched_kinds_do_not_merge() {
+        let mut c = MetricValue::Counter(7);
+        c.merge(&MetricValue::Gauge { value: 100, high_water: 100 });
+        assert_eq!(c, MetricValue::Counter(7));
+    }
+}

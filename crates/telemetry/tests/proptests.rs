@@ -1,0 +1,144 @@
+//! Property-based tests for the metric algebra.
+//!
+//! The registry's determinism argument rests on the merge operations being
+//! associative and commutative (so shard order cannot matter) and on the
+//! histogram bucketing being exact at its boundaries. These properties are
+//! what make snapshots schedule-independent; they are checked here directly
+//! rather than inferred from end-to-end runs.
+
+use faction_telemetry::{bucket_index, bucket_lower_bound, Histogram, MetricValue, Snapshot};
+use proptest::prelude::*;
+
+fn arb_histogram(values: Vec<u64>) -> Histogram {
+    let mut h = Histogram::default();
+    for v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn arb_metric(kind: u8, values: Vec<u64>) -> MetricValue {
+    match kind % 3 {
+        0 => MetricValue::Counter(values.iter().fold(0u64, |a, &b| a.saturating_add(b))),
+        1 => {
+            let value = values.last().copied().unwrap_or(0);
+            let high_water = values.iter().copied().max().unwrap_or(0);
+            MetricValue::Gauge { value: value.max(high_water), high_water }
+        }
+        _ => MetricValue::Histogram(Box::new(arb_histogram(values))),
+    }
+}
+
+fn snapshot_of(entries: &[(u8, Vec<u64>)]) -> Snapshot {
+    Snapshot::from_entries(entries.iter().map(|(key, values)| {
+        // Few distinct keys so merges actually collide on shared metrics;
+        // the kind is a function of the key, mirroring the registry
+        // invariant that every call site records one fixed kind per key.
+        (format!("proptest.metric_{}", key % 6), arb_metric(key % 6, values.clone()))
+    }))
+}
+
+proptest! {
+    /// Bucket `i ≥ 1` holds exactly `[2^(i-1), 2^i)`; its lower bound maps
+    /// back to itself and the value just below it lands one bucket down.
+    #[test]
+    fn bucket_boundaries_are_exact_at_powers_of_two(exp in 1u32..64) {
+        let lo = 1u64 << (exp - 1);
+        let i = bucket_index(lo);
+        prop_assert_eq!(i, exp as usize);
+        prop_assert_eq!(bucket_lower_bound(i), lo);
+        prop_assert_eq!(bucket_index(lo - 1), i - 1);
+        // The top of the half-open range still maps to bucket i.
+        let hi = lo.saturating_mul(2) - 1;
+        prop_assert_eq!(bucket_index(hi), i);
+    }
+
+    /// Every value lands in the bucket whose range contains it.
+    #[test]
+    fn bucket_index_respects_its_range(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(v >= bucket_lower_bound(i));
+        if i + 1 < faction_telemetry::BUCKETS {
+            prop_assert!(v < bucket_lower_bound(i + 1) || bucket_lower_bound(i + 1) == 0);
+        }
+    }
+
+    /// Recording one-by-one equals merging two histograms recorded from a
+    /// split of the same values — merge is a homomorphism.
+    #[test]
+    fn histogram_merge_equals_bulk_record(
+        left in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        right in proptest::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let mut bulk = Histogram::default();
+        for &v in left.iter().chain(&right) {
+            bulk.record(v);
+        }
+        let mut merged = arb_histogram(left);
+        merged.merge(&arb_histogram(right));
+        prop_assert_eq!(merged, bulk);
+    }
+
+    /// Snapshot merge is commutative: `a ∪ b == b ∪ a`.
+    #[test]
+    fn snapshot_merge_commutes(
+        a in proptest::collection::vec((0u8..12, proptest::collection::vec(0u64..u64::MAX, 0..8)), 0..8),
+        b in proptest::collection::vec((0u8..12, proptest::collection::vec(0u64..u64::MAX, 0..8)), 0..8),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        // Colliding gauges merge by max on both fields, so even the
+        // order-sensitive-looking case agrees.
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    /// Snapshot merge is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`.
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in proptest::collection::vec((0u8..12, proptest::collection::vec(0u64..u64::MAX, 0..8)), 0..6),
+        b in proptest::collection::vec((0u8..12, proptest::collection::vec(0u64..u64::MAX, 0..8)), 0..6),
+        c in proptest::collection::vec((0u8..12, proptest::collection::vec(0u64..u64::MAX, 0..8)), 0..6),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.to_json(), right.to_json());
+    }
+
+    /// Counter and histogram sums saturate instead of wrapping near
+    /// `u64::MAX` (overflow checks are on in test profiles, so a wrap
+    /// would abort — this asserts the *value* is the saturated one).
+    #[test]
+    fn saturation_near_u64_max(delta in 0u64..1024, v in 0u64..1024) {
+        let near_max = u64::MAX - delta;
+        let mut counter = MetricValue::Counter(near_max);
+        counter.merge(&MetricValue::Counter(v.saturating_add(delta)));
+        prop_assert_eq!(counter, MetricValue::Counter(u64::MAX));
+
+        let mut h = Histogram::default();
+        h.record(near_max);
+        h.record(v.saturating_add(delta));
+        prop_assert_eq!(h.sum, u64::MAX);
+        prop_assert_eq!(h.count, 2);
+        prop_assert_eq!(h.max, near_max.max(v.saturating_add(delta)));
+    }
+
+    /// `count`, `min`, `max`, and the bucket totals stay mutually
+    /// consistent under any record sequence.
+    #[test]
+    fn histogram_invariants(values in proptest::collection::vec(0u64..u64::MAX, 1..60)) {
+        let h = arb_histogram(values.clone());
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.min, values.iter().copied().min().unwrap());
+        prop_assert_eq!(h.max, values.iter().copied().max().unwrap());
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+}

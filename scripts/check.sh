@@ -46,6 +46,19 @@ run_stage "perf_report --quick (smoke)" \
 run_stage "faction-engine determinism (jobs=1 == jobs=8)" \
     cargo test -q -p faction-engine --release --test determinism
 
+# Telemetry gate #1: the inertness proof. Canonical grid results must be
+# byte-identical with recording on vs. off, at 1 and 8 workers, through
+# checkpoint/resume; canonicalized snapshots must be reproducible.
+run_stage "telemetry-inertness (recording on == off)" \
+    cargo test -q -p faction-telemetry --release --test inertness
+
+# Telemetry gate #2: no hot path bypasses the observability layer. Raw
+# Instant/SystemTime reads or shard-merging .snapshot() calls in library
+# crates fail this stage (the full-analyzer stage above also covers it;
+# this names the guarantee on its own line).
+run_stage "faction-analyzer --rule telemetry-on-hot-path" \
+    cargo run -q -p faction-analyzer --release -- --rule telemetry-on-hot-path
+
 run_stage "engine_scaling --quick (smoke)" \
     cargo run -p faction-bench --release --bin engine_scaling -- --quick
 

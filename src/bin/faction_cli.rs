@@ -8,11 +8,13 @@
 //! ```
 
 use std::str::FromStr;
+use std::sync::Arc;
 
 use faction::core::drift::DriftDetector;
 use faction::core::report::{render_summary_table, AggregatedRun};
 use faction::engine::{Engine, EngineConfig, ExperimentJob};
 use faction::prelude::*;
+use faction_telemetry::{Handle, Registry};
 
 const USAGE: &str = "\
 faction_cli — fairness-aware active online learning experiments
@@ -21,14 +23,19 @@ USAGE:
   faction_cli list
   faction_cli run   --dataset NAME [--strategy NAME] [--seeds N] [--budget B]
                     [--mu F] [--lambda F] [--jobs N] [--quick]
+                    [--metrics-out PATH]
   faction_cli grid  [--datasets A,B|--dataset NAME] [--strategies X,Y] [--seeds N]
                     [--budget B] [--mu F] [--lambda F] [--jobs N] [--quick]
                     [--out DIR] [--checkpoint-dir DIR] [--journal PATH]
+                    [--metrics-out PATH]
   faction_cli drift --dataset NAME [--quick]
   faction_cli stats --dataset NAME [--quick]
 
-  --jobs N     worker threads for the execution engine (0 = auto-detect);
-               results are byte-identical for every N.
+  --jobs N          worker threads for the execution engine (0 = auto-detect);
+                    results are byte-identical for every N.
+  --metrics-out P   write a telemetry snapshot (sorted-key JSON: counters,
+                    gauges, phase histograms) to P after the run; recording
+                    never changes results.
 
 STRATEGIES: faction, faction-no-select, faction-no-reg, faction-uncertainty,
             fal, fal-cur, decoupled, qufur, ddu, entropy, random
@@ -121,10 +128,30 @@ fn config_from_flags(flags: &Flags) -> (ExperimentConfig, Scale, bool) {
     (cfg, scale, quick)
 }
 
-fn engine_from_flags(flags: &Flags) -> Engine {
+/// Builds the engine; when `--metrics-out` is set, a telemetry [`Registry`]
+/// is installed as the engine recorder and returned so the caller can write
+/// its snapshot once the run completes.
+fn engine_from_flags(flags: &Flags) -> (Engine, Option<Arc<Registry>>) {
     let workers = faction::engine::resolve_workers(flags.parse_value("jobs", "integer"));
     let checkpoint_dir = flags.get("checkpoint-dir").map(std::path::PathBuf::from);
-    Engine::new(EngineConfig { workers, checkpoint_dir, ..EngineConfig::default() })
+    let registry = flags.has("metrics-out").then(|| Arc::new(Registry::new()));
+    let recorder = registry.clone().map(Handle::from).unwrap_or_default();
+    let engine =
+        Engine::new(EngineConfig { workers, checkpoint_dir, recorder, ..EngineConfig::default() });
+    (engine, registry)
+}
+
+/// Writes the metrics snapshot for `--metrics-out`, if requested.
+fn write_metrics(flags: &Flags, registry: Option<&Arc<Registry>>) {
+    let (Some(path), Some(registry)) = (flags.get("metrics-out"), registry) else {
+        return;
+    };
+    let mut json = registry.snapshot().to_json_pretty();
+    json.push('\n');
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("metrics: {path}"),
+        Err(e) => eprintln!("warning: could not write metrics to {path}: {e}"),
+    }
 }
 
 fn cmd_list() {
@@ -145,7 +172,7 @@ fn cmd_list() {
 fn cmd_run(flags: &Flags) {
     flags.expect_known(
         "run",
-        &["dataset", "strategy", "seeds", "budget", "mu", "lambda", "jobs", "quick"],
+        &["dataset", "strategy", "seeds", "budget", "mu", "lambda", "jobs", "quick", "metrics-out"],
     );
     let (cfg, scale, quick) = config_from_flags(flags);
     let dataset = flags.dataset("dataset").unwrap_or_else(|| {
@@ -158,7 +185,7 @@ fn cmd_run(flags: &Flags) {
         usage_error(&format!("unknown strategy '{strategy_name}' for --strategy"));
     }
 
-    let engine = engine_from_flags(flags);
+    let (engine, registry) = engine_from_flags(flags);
     eprintln!(
         "running {strategy_name} on {} ({seeds} seeds, budget {}, {} worker(s))…",
         dataset.name(),
@@ -174,6 +201,7 @@ fn cmd_run(flags: &Flags) {
         })
         .collect();
     let outcome = engine.run_grid(&jobs);
+    write_metrics(flags, registry.as_ref());
     for failure in &outcome.failures {
         eprintln!("  {failure}");
     }
@@ -220,6 +248,7 @@ fn cmd_grid(flags: &Flags) {
             "out",
             "checkpoint-dir",
             "journal",
+            "metrics-out",
         ],
     );
     let (cfg, scale, quick) = config_from_flags(flags);
@@ -263,7 +292,7 @@ fn cmd_grid(flags: &Flags) {
         }
     }
 
-    let engine = engine_from_flags(flags);
+    let (engine, registry) = engine_from_flags(flags);
     eprintln!(
         "grid: {} dataset(s) × {} strategies × {seeds} seed(s) = {} jobs on {} worker(s)…",
         datasets.len(),
@@ -272,6 +301,7 @@ fn cmd_grid(flags: &Flags) {
         engine.config().workers
     );
     let outcome = engine.run_grid(&jobs);
+    write_metrics(flags, registry.as_ref());
 
     if let Some(path) = flags.get("journal") {
         if let Err(e) = std::fs::write(path, &outcome.journal_jsonl) {
