@@ -1,0 +1,59 @@
+//! Criterion micro-benches for the acquisition primitives: Eq. (7)
+//! normalization and the ranked Bernoulli/top-K selection loop, on clean
+//! and poisoned score batches.
+//!
+//! The containment guards (NaN-last total order, non-finite score
+//! scrubbing) sit directly on the per-round selection path, so this bench
+//! pins their cost: the clean-batch timings are the regression guard, the
+//! poisoned-batch timings show that degraded rounds stay the same order of
+//! magnitude rather than falling off a cliff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faction_core::selection::desirability_from_scores;
+use faction_core::{acquire, AcquisitionMode};
+use faction_linalg::SeedRng;
+use std::hint::black_box;
+
+fn scores(n: usize, poisoned: bool) -> Vec<f64> {
+    let mut rng = SeedRng::new(31);
+    (0..n)
+        .map(|i| {
+            if poisoned && i % 17 == 0 {
+                f64::NAN
+            } else if poisoned && i % 23 == 0 {
+                f64::INFINITY
+            } else {
+                rng.uniform()
+            }
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let n = 2048;
+    for (tag, poisoned) in [("clean", false), ("poisoned", true)] {
+        let u = scores(n, poisoned);
+        c.bench_function(format!("desirability_from_scores/{tag}/n{n}"), |b| {
+            b.iter(|| black_box(desirability_from_scores(black_box(&u))))
+        });
+        let w = desirability_from_scores(&u);
+        c.bench_function(format!("acquire/topk/{tag}/n{n}"), |b| {
+            let mut rng = SeedRng::new(7);
+            b.iter(|| black_box(acquire(black_box(&w), 64, AcquisitionMode::TopK, &mut rng)))
+        });
+        c.bench_function(format!("acquire/bernoulli/{tag}/n{n}"), |b| {
+            let mut rng = SeedRng::new(7);
+            b.iter(|| {
+                black_box(acquire(
+                    black_box(&w),
+                    64,
+                    AcquisitionMode::Probabilistic { alpha: 0.9 },
+                    &mut rng,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

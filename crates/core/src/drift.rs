@@ -47,11 +47,46 @@ impl Default for DriftDetector {
 }
 
 impl DriftDetector {
-    /// Scores an incoming feature batch against pool features.
+    /// Fits the in-distribution reference once, for repeated scoring.
+    ///
+    /// The returned [`FittedDriftDetector`] owns the pool-fitted estimator
+    /// and its cached reference log-density, so scoring `k` incoming batches
+    /// against the same pool costs one fit + one pool-wide scoring pass
+    /// total instead of `k` of each (the one-shot [`DriftDetector::score`]
+    /// refitted the estimator and rescored the entire pool on every call).
+    ///
+    /// # Errors
+    /// Propagates density-estimation failures (empty pool, dimension
+    /// mismatch).
+    pub fn fit_reference(
+        &self,
+        pool_features: &Matrix,
+        pool_labels: &[usize],
+        pool_sensitives: &[i8],
+        num_classes: usize,
+    ) -> Result<FittedDriftDetector, DensityError> {
+        let _span = faction_telemetry::span("core.drift.fit_ns");
+        let estimator = FairDensityEstimator::fit(
+            pool_features,
+            pool_labels,
+            pool_sensitives,
+            num_classes,
+            &self.density,
+        )?;
+        let scores = estimator.log_density_batch(pool_features)?;
+        let reference_log_density = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+        Ok(FittedDriftDetector { threshold: self.threshold, estimator, reference_log_density })
+    }
+
+    /// Scores an incoming feature batch against pool features in one shot.
     ///
     /// `pool_features` / `pool_labels` / `pool_sensitives` describe the
     /// labeled data the model has seen; `incoming_features` is the new
     /// task's (unlabeled) feature batch, extracted with the same model.
+    ///
+    /// Thin wrapper over [`DriftDetector::fit_reference`] +
+    /// [`FittedDriftDetector::score`]; reports are identical to the fitted
+    /// path by construction.
     ///
     /// # Errors
     /// Propagates density-estimation failures (empty pool, dimension
@@ -64,28 +99,48 @@ impl DriftDetector {
         num_classes: usize,
         incoming_features: &Matrix,
     ) -> Result<DriftReport, DensityError> {
+        self.fit_reference(pool_features, pool_labels, pool_sensitives, num_classes)?
+            .score(incoming_features)
+    }
+}
+
+/// A drift detector with its reference distribution already fitted: the
+/// pool estimator plus the cached mean log-density of the pool itself.
+#[derive(Debug, Clone)]
+pub struct FittedDriftDetector {
+    threshold: f64,
+    estimator: FairDensityEstimator,
+    reference_log_density: f64,
+}
+
+impl FittedDriftDetector {
+    /// The cached in-distribution reference level (mean pool log-density).
+    pub fn reference_log_density(&self) -> f64 {
+        self.reference_log_density
+    }
+
+    /// The detection threshold inherited from the [`DriftDetector`].
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Scores one incoming feature batch against the cached reference.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::DimensionMismatch`] if the batch width
+    /// disagrees with the fitted estimator.
+    pub fn score(&self, incoming_features: &Matrix) -> Result<DriftReport, DensityError> {
         let _span = faction_telemetry::span("core.drift.check_ns");
         faction_telemetry::counter_add("core.drift.checks", 1);
-        let estimator = FairDensityEstimator::fit(
-            pool_features,
-            pool_labels,
-            pool_sensitives,
-            num_classes,
-            &self.density,
-        )?;
-        let mean_of = |m: &Matrix| -> Result<f64, DensityError> {
-            let scores = estimator.log_density_batch(m)?;
-            Ok(scores.iter().sum::<f64>() / scores.len().max(1) as f64)
-        };
-        let reference_log_density = mean_of(pool_features)?;
-        let mean_log_density = mean_of(incoming_features)?;
-        let density_drop = reference_log_density - mean_log_density;
+        let scores = self.estimator.log_density_batch(incoming_features)?;
+        let mean_log_density = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+        let density_drop = self.reference_log_density - mean_log_density;
         if density_drop > self.threshold {
             faction_telemetry::counter_add("core.drift.detected", 1);
         }
         Ok(DriftReport {
             mean_log_density,
-            reference_log_density,
+            reference_log_density: self.reference_log_density,
             density_drop,
             drift_detected: density_drop > self.threshold,
         })
@@ -143,6 +198,40 @@ mod tests {
         let near_report = detector.score(&px, &py, &ps, 2, &near).unwrap();
         let far_report = detector.score(&px, &py, &ps, 2, &far).unwrap();
         assert!(far_report.density_drop > near_report.density_drop);
+    }
+
+    #[test]
+    fn fitted_detector_matches_one_shot_bitwise() {
+        // `fit_reference` + repeated `score` must reproduce the one-shot
+        // path exactly — same estimator, same reference, same reports — so
+        // callers can amortize the pool fit without changing results.
+        let mut rng = SeedRng::new(9);
+        let (px, py, ps) = pool(&mut rng);
+        let batches: Vec<Matrix> = [0.0, 4.0, 12.0]
+            .iter()
+            .map(|&c| Matrix::from_rows(&cluster(20, c, &mut rng)).unwrap())
+            .collect();
+        let detector = DriftDetector::default();
+        let fitted = detector.fit_reference(&px, &py, &ps, 2).unwrap();
+        for batch in &batches {
+            let one_shot = detector.score(&px, &py, &ps, 2, batch).unwrap();
+            let amortized = fitted.score(batch).unwrap();
+            assert_eq!(
+                one_shot.mean_log_density.to_bits(),
+                amortized.mean_log_density.to_bits()
+            );
+            assert_eq!(
+                one_shot.reference_log_density.to_bits(),
+                amortized.reference_log_density.to_bits()
+            );
+            assert_eq!(one_shot.density_drop.to_bits(), amortized.density_drop.to_bits());
+            assert_eq!(one_shot.drift_detected, amortized.drift_detected);
+        }
+        assert_eq!(
+            fitted.reference_log_density().to_bits(),
+            detector.score(&px, &py, &ps, 2, &batches[0]).unwrap().reference_log_density.to_bits()
+        );
+        assert_eq!(fitted.threshold(), detector.threshold);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! selection and training phases is recorded separately to reproduce the
 //! runtime decomposition of Fig. 5 / Table I.
 
-use faction_data::{Oracle, Task, TaskStream};
-use faction_linalg::{Matrix, SeedRng};
+use faction_data::{Oracle, Sample, Task, TaskStream};
+use faction_linalg::{vector, Matrix, SeedRng};
 use faction_nn::MlpConfig;
 use faction_telemetry::{self as telemetry, Clock};
 use serde::{Deserialize, Serialize};
@@ -105,20 +105,54 @@ impl RunRecord {
 /// DDP / EOD / MI when the stream has two sensitive groups — so the same
 /// runner drives both the paper's binary benchmarks and multi-valued
 /// sensitive-attribute streams (Sec. III-A extension).
+///
+/// The calibration gap is group calibration of the positive-class
+/// probability in the binary case. With more than two classes there is no
+/// "positive class", so it generalizes to *confidence calibration*: the
+/// predicted class's probability against the correctness indicator
+/// (`pred == label`), which reduces to the binary definition up to class
+/// symmetry. Non-finite feature entries are scrubbed to `0.0` before the
+/// forward pass — the model never consumes NaN/Inf (DESIGN.md §10).
 fn evaluate(model: &OnlineModel, task: &Task) -> (f64, f64, f64, f64, f64) {
-    let x = task.features();
+    let mut x = task.features();
+    let scrubbed = x.sanitize_non_finite();
+    if scrubbed > 0 {
+        telemetry::counter_add("core.runner.sanitized_values", scrubbed as u64);
+    }
     let preds = model.mlp().predict(&x);
     let probs = model.mlp().predict_proba(&x);
-    let positive: Vec<f64> = (0..probs.rows()).map(|r| probs.get(r, 1)).collect();
     let labels = task.labels();
     let sens = task.sensitives();
+    let calibration_gap = if probs.cols() > 2 {
+        let confidence: Vec<f64> =
+            (0..probs.rows()).map(|r| probs.get(r, preds[r])).collect();
+        let correct: Vec<usize> =
+            preds.iter().zip(&labels).map(|(p, l)| usize::from(p == l)).collect();
+        faction_fairness::calibration::group_calibration_gap(&confidence, &correct, &sens, 10)
+    } else {
+        let positive: Vec<f64> = (0..probs.rows()).map(|r| probs.get(r, 1)).collect();
+        faction_fairness::calibration::group_calibration_gap(&positive, &labels, &sens, 10)
+    };
     (
         faction_fairness::accuracy(&preds, &labels),
         faction_fairness::multi::ddp_multi(&preds, &sens),
         faction_fairness::multi::eod_multi(&preds, &labels, &sens),
         faction_fairness::multi::mutual_information_multi(&preds, &sens),
-        faction_fairness::calibration::group_calibration_gap(&positive, &labels, &sens, 10),
+        calibration_gap,
     )
+}
+
+/// Clones a sample's feature vector with non-finite entries scrubbed to
+/// `0.0` (counted in `core.runner.sanitized_values`), so the labeled pool —
+/// and therefore every retrain — never consumes NaN/Inf. A clean sample
+/// pays exactly the clone it always paid.
+fn sanitized_features(s: &Sample) -> Vec<f64> {
+    let mut x = s.x.clone();
+    let scrubbed = vector::sanitize_scores(&mut x);
+    if scrubbed > 0 {
+        telemetry::counter_add("core.runner.sanitized_values", scrubbed as u64);
+    }
+    x
 }
 
 /// Runs one strategy over one stream with one seed (Algorithm 1).
@@ -152,7 +186,7 @@ pub fn run_experiment(
         warm_indices = rng.sample_indices(first.len(), cfg.warm_start.min(first.len()));
         for &i in &warm_indices {
             let s = &first.samples[i];
-            pool.push(s.x.clone(), s.label, s.sensitive);
+            pool.push(sanitized_features(s), s.label, s.sensitive);
         }
         let warm_train = Clock::start();
         model.retrain(&pool, loss.as_ref());
@@ -170,9 +204,15 @@ pub fn run_experiment(
         let (accuracy, ddp, eod, mi, calibration_gap) = evaluate(&model, task);
         telemetry::observe_duration("core.runner.eval_ns", eval_clock.elapsed());
 
-        // Unlabeled candidates (warm-start samples excluded on task 0).
+        // Unlabeled candidates (warm-start samples excluded on task 0). A
+        // boolean mask keeps the exclusion O(n + w) — probing the warm list
+        // per candidate made warm-up quadratic in the warm-start size.
         let mut unlabeled: Vec<usize> = if task.id == 0 {
-            (0..task.len()).filter(|i| !warm_indices.contains(i)).collect()
+            let mut is_warm = vec![false; task.len()];
+            for &i in &warm_indices {
+                is_warm[i] = true;
+            }
+            (0..task.len()).filter(|&i| !is_warm[i]).collect()
         } else {
             (0..task.len()).collect()
         };
@@ -195,6 +235,10 @@ pub fn run_experiment(
                 // spans recorded inside the strategy itself).
                 let _score_span = telemetry::span("core.runner.score_ns");
                 task.features_of_into(&unlabeled, &mut candidates);
+                let scrubbed = candidates.sanitize_non_finite();
+                if scrubbed > 0 {
+                    telemetry::counter_add("core.runner.sanitized_values", scrubbed as u64);
+                }
                 candidate_sensitives.clear();
                 candidate_sensitives.extend(unlabeled.iter().map(|&i| task.samples[i].sensitive));
                 let ctx = SelectionContext {
@@ -204,7 +248,24 @@ pub fn run_experiment(
                     candidate_sensitives: &candidate_sensitives,
                     num_classes: stream.num_classes,
                 };
-                desirability = strategy.desirability(&ctx, &mut rng);
+                // Degradation boundary (DESIGN.md §10): a strategy that
+                // panics, returns the wrong number of scores, or emits
+                // non-finite desirability forfeits *this round only* — the
+                // protocol falls back to uniform-random desirability so the
+                // budget is still spent, and the event is counted. The
+                // fallback draws from `rng` only on the degraded branch, so
+                // healthy runs consume the exact same random stream as
+                // before the guard existed.
+                let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    strategy.desirability(&ctx, &mut rng)
+                }));
+                desirability = match scored {
+                    Ok(w) if w.len() == unlabeled.len() && w.iter().all(|v| v.is_finite()) => w,
+                    _ => {
+                        telemetry::counter_add("core.runner.degraded_rounds", 1);
+                        (0..unlabeled.len()).map(|_| rng.uniform()).collect()
+                    }
+                };
             }
             let batch = cfg
                 .acquisition_batch
@@ -239,10 +300,20 @@ pub fn run_experiment(
                             1,
                         );
                     }
-                    pool.push(s.x.clone(), label, s.sensitive);
+                    pool.push(sanitized_features(s), label, s.sensitive);
                 }
             }
-            unlabeled.retain(|i| !picked_global.contains(i));
+            // `unlabeled` is kept sorted ascending (it starts that way and
+            // `retain` preserves order) and `picked_global` was just sorted,
+            // so a two-pointer merge removes the batch in O(n + k) — the
+            // `contains` probe per survivor made every round quadratic.
+            let mut next_pick = 0usize;
+            unlabeled.retain(|&i| {
+                while next_pick < picked_global.len() && picked_global[next_pick] < i {
+                    next_pick += 1;
+                }
+                !(next_pick < picked_global.len() && picked_global[next_pick] == i)
+            });
 
             // Retrain on the enlarged pool (Algorithm 1, lines 7–8).
             let train_start = Clock::start();
@@ -341,6 +412,20 @@ mod tests {
         }
         assert_eq!(record.strategy, "Random");
         assert_eq!(record.dataset, "RCMNIST");
+    }
+
+    #[test]
+    fn budget_not_divisible_by_batch_is_fully_spent() {
+        // 7 = 2×3 + 1: the last round must shrink its batch to the single
+        // remaining query, and the oracle's accounting must land exactly on
+        // the budget with candidates to spare.
+        let stream = tiny_stream();
+        let cfg = ExperimentConfig { budget: 7, acquisition_batch: 3, ..tiny_cfg() };
+        let arch = faction_nn::presets::tiny(stream.input_dim, 2, 0);
+        let record = run_experiment(&stream, &mut Random, &arch, &cfg, 5);
+        for r in &record.records {
+            assert_eq!(r.queries, 7, "task {} spent {} of 7", r.task_id, r.queries);
+        }
     }
 
     #[test]

@@ -23,8 +23,22 @@ pub enum AcquisitionMode {
 /// Normalizes raw scores where **lower is better to query** (the paper's
 /// `u(x)`) into desirability `ω(x) = 1 − Normalize(u(x))` (Eq. 7), where
 /// higher is better.
+///
+/// Degenerate scores are contained rather than propagated: the normalization
+/// range is taken over the finite scores only, `u = −∞` (infinite epistemic
+/// uncertainty) maps to `ω = 1`, `u = +∞` maps to `ω = 0`, and a NaN score
+/// carries no signal at all, so it maps to `ω = 0` and can never be
+/// preferred over a scored candidate. A fully finite batch is bit-identical
+/// to the unguarded Eq. (7).
 pub fn desirability_from_scores(u: &[f64]) -> Vec<f64> {
-    vector::min_max_normalize(u).into_iter().map(|v| 1.0 - v).collect()
+    let mut w: Vec<f64> =
+        vector::min_max_normalize(u).into_iter().map(|v| 1.0 - v).collect();
+    for (wi, ui) in w.iter_mut().zip(u) {
+        if ui.is_nan() {
+            *wi = 0.0;
+        }
+    }
+    w
 }
 
 /// Selects up to `batch` sample indices from `desirability` (higher = query
@@ -49,13 +63,14 @@ pub fn acquire(
     if want == 0 {
         return Vec::new();
     }
-    // Descending order by desirability, ties by index for determinism.
+    // Descending order by desirability, ties by index for determinism. The
+    // NaN-last total order keeps the ranking candidate-order independent
+    // even on poisoned score batches (a `partial_cmp(..).unwrap_or(Equal)`
+    // comparator silently made NaN "equal to everything", so the sort —
+    // and therefore the acquisitions — depended on where the NaN sat).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        desirability[b]
-            .partial_cmp(&desirability[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        vector::total_order_desc(desirability[a], desirability[b]).then(a.cmp(&b))
     });
     match mode {
         AcquisitionMode::TopK => order.into_iter().take(want).collect(),
@@ -68,7 +83,11 @@ pub fn acquire(
                     if taken[idx] {
                         continue;
                     }
-                    let p = (alpha * desirability[idx]).min(1.0);
+                    // NaN desirability means "no signal": trial probability 0
+                    // (without the guard, `f64::min(NaN, 1.0)` returns 1.0
+                    // and a NaN score would be acquired *first*).
+                    let w = desirability[idx];
+                    let p = if w.is_finite() { (alpha * w).min(1.0) } else { 0.0 };
                     if rng.bernoulli(p) {
                         taken[idx] = true;
                         selected.push(idx);
@@ -188,6 +207,72 @@ mod tests {
         let mut rng = SeedRng::new(5);
         assert!(acquire(&[], 4, AcquisitionMode::TopK, &mut rng).is_empty());
         assert!(acquire(&[0.5], 0, AcquisitionMode::TopK, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_never_win_the_ranking() {
+        // A NaN desirability must lose to every scored candidate in both
+        // acquisition modes, regardless of where it sits in the batch.
+        for nan_pos in 0..4 {
+            let mut w = vec![0.9, 0.5, 0.7, 0.3];
+            w[nan_pos] = f64::NAN;
+            let mut rng = SeedRng::new(10);
+            let picked = acquire(&w, 3, AcquisitionMode::TopK, &mut rng);
+            assert!(
+                !picked.contains(&nan_pos),
+                "NaN at {nan_pos} must not be in the top-3 of {picked:?}"
+            );
+            let mut rng = SeedRng::new(11);
+            let picked =
+                acquire(&w, 3, AcquisitionMode::Probabilistic { alpha: 5.0 }, &mut rng);
+            assert_eq!(picked.len(), 3);
+            assert!(
+                !picked.contains(&nan_pos),
+                "NaN at {nan_pos} must not be acquired while scored candidates remain"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_ranking_is_candidate_order_independent() {
+        // The same score multiset with the NaN in different slots must rank
+        // the scored candidates identically (the old partial_cmp comparator
+        // produced position-dependent orderings).
+        let base = [0.8, 0.6, 0.4, 0.2];
+        let mut reference: Option<Vec<f64>> = None;
+        for nan_pos in 0..5 {
+            let mut w: Vec<f64> = base.to_vec();
+            w.insert(nan_pos, f64::NAN);
+            let mut rng = SeedRng::new(12);
+            let picked = acquire(&w, 4, AcquisitionMode::TopK, &mut rng);
+            let values: Vec<f64> = picked.iter().map(|&i| w[i]).collect();
+            match &reference {
+                None => reference = Some(values),
+                Some(r) => assert_eq!(r, &values, "NaN at {nan_pos} reordered the ranking"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_nan_batch_still_fills_deterministically() {
+        // With nothing but NaN, ties break by index and the budget is still
+        // spent (the protocol's "query until exhausted" invariant).
+        let w = [f64::NAN; 4];
+        let mut rng = SeedRng::new(13);
+        assert_eq!(acquire(&w, 2, AcquisitionMode::TopK, &mut rng), vec![0, 1]);
+        let picked = acquire(&w, 2, AcquisitionMode::Probabilistic { alpha: 3.0 }, &mut rng);
+        assert_eq!(picked, vec![0, 1]);
+    }
+
+    #[test]
+    fn desirability_sanitizes_non_finite_scores() {
+        // u: lower is better. NaN → no signal (ω = 0); -inf → infinitely
+        // uncertain (ω = 1); +inf → infinitely familiar (ω = 0); the finite
+        // scores normalize as if the poison were absent.
+        let u = [5.0, f64::NAN, 1.0, f64::NEG_INFINITY, f64::INFINITY, 3.0];
+        let w = desirability_from_scores(&u);
+        assert_eq!(w, vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.5]);
+        assert!(w.iter().all(|v| v.is_finite()));
     }
 
     #[test]

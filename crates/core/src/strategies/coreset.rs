@@ -68,7 +68,7 @@ impl Strategy for Coreset {
             }
             remaining -= 1;
         }
-        desirability
+        crate::strategies::contain_scores(desirability)
     }
 
     fn mode(&self) -> AcquisitionMode {

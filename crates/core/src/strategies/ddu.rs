@@ -37,10 +37,11 @@ impl Strategy for Ddu {
         let z = ctx.model.mlp().features(ctx.candidates);
         // Desirability = negative log-density: lowest density (highest
         // epistemic uncertainty) queried first.
-        (0..n)
-            .map(|i| -estimator.log_density(z.row(i)).unwrap_or(f64::NEG_INFINITY))
-            .map(|v| if v.is_finite() { v } else { 0.0 })
-            .collect()
+        crate::strategies::contain_scores(
+            (0..n)
+                .map(|i| -estimator.log_density(z.row(i)).unwrap_or(f64::NEG_INFINITY))
+                .collect(),
+        )
     }
 
     fn mode(&self) -> AcquisitionMode {

@@ -98,7 +98,7 @@ impl Strategy for Decoupled {
         let mut rng_b = rng.fork(2);
         let model_pos = self.train_group_model(ctx, 1, &mut rng_a);
         let model_neg = self.train_group_model(ctx, -1, &mut rng_b);
-        match (model_pos, model_neg) {
+        let scores = match (model_pos, model_neg) {
             (Some(a), Some(b)) => {
                 let pa = Self::positive_probs(&a, ctx.candidates);
                 let pb = Self::positive_probs(&b, ctx.candidates);
@@ -124,7 +124,8 @@ impl Strategy for Decoupled {
             }
             // One group unseen so far: no disagreement signal; uniform.
             _ => vec![0.5; n],
-        }
+        };
+        crate::strategies::contain_scores(scores)
     }
 
     fn mode(&self) -> AcquisitionMode {

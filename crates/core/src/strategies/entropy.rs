@@ -17,7 +17,7 @@ impl Strategy for EntropyAl {
     }
 
     fn desirability(&mut self, ctx: &SelectionContext<'_>, _rng: &mut SeedRng) -> Vec<f64> {
-        candidate_entropy(ctx)
+        crate::strategies::contain_scores(candidate_entropy(ctx))
     }
 
     fn mode(&self) -> AcquisitionMode {

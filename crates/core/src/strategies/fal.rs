@@ -12,7 +12,7 @@
 //! evaluation (the `l ∈ {64, …, 256}` knob swept in Fig. 3), and the
 //! hypothetical retrain runs one epoch on a bounded subsample of the pool.
 
-use faction_linalg::{Matrix, SeedRng};
+use faction_linalg::{vector, Matrix, SeedRng};
 use faction_nn::{CrossEntropyLoss, Sgd, TrainOptions};
 
 use crate::selection::AcquisitionMode;
@@ -68,15 +68,16 @@ impl Strategy for Fal {
         let n = ctx.candidates.rows();
         let entropies = candidate_entropy(ctx);
         if ctx.pool.is_empty() {
-            return entropies;
+            return crate::strategies::contain_scores(entropies);
         }
         let probs = ctx.model.mlp().predict_proba(ctx.candidates);
 
         // Top-l candidates by entropy get the expensive evaluation.
+        // NaN-last descending total order: a poisoned entropy must never
+        // claim one of the `l` expensive evaluation slots (the old
+        // partial_cmp comparator left NaN wherever it sat).
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            entropies[b].partial_cmp(&entropies[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| vector::total_order_desc(entropies[a], entropies[b]));
         let evaluated: Vec<usize> = order.into_iter().take(self.params.l.min(n)).collect();
 
         // Bounded subsamples for the hypothetical retrains.
@@ -130,7 +131,7 @@ impl Strategy for Fal {
             let fairness_gain = current_ddp - expected_ddp;
             scores[j] = entropies[j] + self.params.fairness_weight * fairness_gain;
         }
-        scores
+        crate::strategies::contain_scores(scores)
     }
 
     fn mode(&self) -> AcquisitionMode {

@@ -81,15 +81,16 @@ impl Strategy for FalCur {
         }
         let mut desirability = vec![0.0; n];
         for members in &mut per_cluster {
-            members.sort_by(|&a, &b| {
-                base[b].partial_cmp(&base[a]).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // NaN-last total order: a poisoned base score ranks behind
+            // every scored member of its cluster instead of landing
+            // wherever the candidate happened to sit.
+            members.sort_by(|&a, &b| vector::total_order_desc(base[a], base[b]));
             for (rank, &i) in members.iter().enumerate() {
                 // Rank dominates; the base score breaks ties inside a rank.
                 desirability[i] = -(rank as f64) + 0.5 * base[i];
             }
         }
-        desirability
+        crate::strategies::contain_scores(desirability)
     }
 
     fn mode(&self) -> AcquisitionMode {

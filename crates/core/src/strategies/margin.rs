@@ -21,10 +21,9 @@ impl Strategy for MarginAl {
     fn desirability(&mut self, ctx: &SelectionContext<'_>, _rng: &mut SeedRng) -> Vec<f64> {
         let probs = ctx.model.mlp().predict_proba(ctx.candidates);
         // Small margin = ambiguous = desirable; invert so higher is better.
-        faction_nn::loss::margin_per_row(&probs)
-            .into_iter()
-            .map(|m| 1.0 - m)
-            .collect()
+        crate::strategies::contain_scores(
+            faction_nn::loss::margin_per_row(&probs).into_iter().map(|m| 1.0 - m).collect(),
+        )
     }
 
     fn mode(&self) -> AcquisitionMode {

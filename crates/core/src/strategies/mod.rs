@@ -78,6 +78,20 @@ pub(crate) fn candidate_entropy(ctx: &SelectionContext<'_>) -> Vec<f64> {
     faction_nn::loss::entropy_per_row(&probs)
 }
 
+/// Containment boundary for strategy score outputs (DESIGN.md §10): every
+/// strategy routes its desirability vector through here so a NaN/Inf score
+/// — a diverged hypothetical retrain, an overflowed distance, a degenerate
+/// entropy — becomes a neutral `0.0` instead of poisoning the acquisition
+/// ranking. Scrubs are counted in `core.strategy.sanitized_scores`; a
+/// fully finite vector passes through untouched.
+pub(crate) fn contain_scores(mut scores: Vec<f64>) -> Vec<f64> {
+    let scrubbed = faction_linalg::vector::sanitize_scores(&mut scores);
+    if scrubbed > 0 {
+        faction_telemetry::counter_add("core.strategy.sanitized_scores", scrubbed as u64);
+    }
+    scores
+}
+
 /// The full method lineup of Fig. 2: FACTION plus the seven baselines, with
 /// the paper's default hyperparameters.
 pub fn paper_lineup(loss: faction_fairness::TotalLossConfig) -> Vec<Box<dyn Strategy>> {

@@ -32,7 +32,7 @@ impl Strategy for QuFur {
 
     fn desirability(&mut self, ctx: &SelectionContext<'_>, _rng: &mut SeedRng) -> Vec<f64> {
         // Normalized entropy: high uncertainty → high query probability.
-        vector::min_max_normalize(&candidate_entropy(ctx))
+        crate::strategies::contain_scores(vector::min_max_normalize(&candidate_entropy(ctx)))
     }
 
     fn mode(&self) -> AcquisitionMode {

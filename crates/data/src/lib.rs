@@ -26,11 +26,13 @@ pub mod datasets;
 pub mod multigroup;
 pub mod generator;
 pub mod oracle;
+pub mod poison;
 pub mod stats;
 pub mod task;
 
 pub use generator::{EnvironmentSpec, StreamSpec};
 pub use oracle::Oracle;
+pub use poison::{poison, PoisonSpec, VanishGroup};
 pub use task::{Sample, Task, TaskStream};
 
 /// How much data to generate: `Full` approximates the paper's task sizes,

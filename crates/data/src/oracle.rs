@@ -87,6 +87,50 @@ mod tests {
     }
 
     #[test]
+    fn denials_leave_accounting_untouched() {
+        // Once exhausted, every further query — however many, whatever the
+        // index — is denied without moving the counters. This is the
+        // invariant the runner's pool bookkeeping leans on: a denied query
+        // adds nothing to the pool and consumes nothing from the budget.
+        let t = task(6);
+        let mut oracle = Oracle::new(&t, 3);
+        for i in 0..3 {
+            assert!(oracle.query(i).is_some());
+        }
+        for _ in 0..4 {
+            assert_eq!(oracle.query(5), None);
+            assert_eq!(oracle.queries_made(), 3);
+            assert_eq!(oracle.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn mid_batch_exhaustion_denies_the_tail() {
+        // A batch larger than the remaining budget is the exact mid-batch
+        // situation the runner hits on its final round: the leading queries
+        // succeed, the tail is denied, and the success count lands exactly
+        // on the budget.
+        let t = task(8);
+        let mut oracle = Oracle::new(&t, 5);
+        assert!(oracle.query(0).is_some());
+        assert!(oracle.query(1).is_some());
+        let batch = [2usize, 3, 4, 5, 6];
+        let granted = batch.iter().filter(|&&i| oracle.query(i).is_some()).count();
+        assert_eq!(granted, 3, "only the remaining budget may be granted");
+        assert_eq!(oracle.queries_made(), 5);
+        assert_eq!(oracle.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_budget_denies_everything() {
+        let t = task(3);
+        let mut oracle = Oracle::new(&t, 0);
+        assert_eq!(oracle.remaining(), 0);
+        assert_eq!(oracle.query(0), None);
+        assert_eq!(oracle.queries_made(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_index_panics() {
         let t = task(2);

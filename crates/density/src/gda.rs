@@ -108,12 +108,29 @@ impl FairDensityEstimator {
     /// contribution to Eq. (3) is zero (prior `p(y,s) = 0`), and the fairness
     /// gap `Δg_y` treats them as "no signal" (see [`Self::delta_g`]).
     ///
+    /// # Graceful degradation
+    /// Degenerate streams are the expected case for an online learner, not
+    /// an error, so the fit contains them instead of failing (DESIGN.md
+    /// §10):
+    ///
+    /// * rows with non-finite features are excluded from every cell (and
+    ///   from the priors) — counted in `density.gda.nonfinite_rows_skipped`;
+    /// * a cell whose covariance cannot be factored at the configured ridge
+    ///   climbs a ridge-escalation ladder (`ridge × 10³/10⁶/10⁹`, counted in
+    ///   `density.ridge_escalations`);
+    /// * a cell that still cannot factor falls back to a pooled-covariance
+    ///   component (cell mean, covariance pooled over all usable rows), and
+    ///   as a last resort to an identity covariance — both counted in
+    ///   `density.fallback_components`.
+    ///
+    /// On a fully finite, non-degenerate input none of these paths run and
+    /// the fit is bit-identical to the unguarded version.
+    ///
     /// # Errors
-    /// * [`DensityError::NoData`] if `features` has no rows.
+    /// * [`DensityError::NoData`] if `features` has no rows with fully
+    ///   finite features.
     /// * [`DensityError::DimensionMismatch`] if `labels`/`sensitive` lengths
     ///   disagree with the number of rows.
-    /// * [`DensityError::Linalg`] if a component covariance cannot be
-    ///   factored even with jitter.
     pub fn fit(
         features: &Matrix,
         labels: &[usize],
@@ -138,10 +155,27 @@ impl FairDensityEstimator {
         // rows in per-process hash order, so the covariance's float sums —
         // and every density derived from them — could differ between two
         // runs of the same experiment.
+        //
+        // Rows with non-finite features carry no usable density signal (a
+        // single NaN poisons the mean, the covariance, and every log-pdf
+        // derived from them), so they are excluded here — from cell
+        // membership and from the priors alike.
         let mut groups: BTreeMap<ComponentKey, Vec<usize>> = BTreeMap::new();
+        let mut skipped = 0usize;
         for i in 0..n {
+            if !features.row(i).iter().all(|v| v.is_finite()) {
+                skipped += 1;
+                continue;
+            }
             let key = ComponentKey { class: labels[i], sensitive: sensitive[i] };
             groups.entry(key).or_default().push(i);
+        }
+        let n_used = n - skipped;
+        if n_used == 0 {
+            return Err(DensityError::NoData);
+        }
+        if skipped > 0 {
+            faction_telemetry::counter_add("density.gda.nonfinite_rows_skipped", skipped as u64);
         }
         let mut sensitive_values: Vec<i8> = groups.keys().map(|k| k.sensitive).collect();
         sensitive_values.sort_unstable();
@@ -163,18 +197,80 @@ impl FairDensityEstimator {
             None
         };
 
+        // Base ridge for the escalation ladder (a zero configured ridge
+        // still needs a positive rung to climb from).
+        let ladder_base = if cfg.ridge > 0.0 { cfg.ridge } else { 1e-6 };
+        // Covariance pooled over every usable row, built lazily the first
+        // time a cell needs the fallback component.
+        let mut shared_fallback_cov: Option<Matrix> = None;
+        let all_indices: Vec<usize> = groups.values().flatten().copied().collect();
+        let mut escalations = 0u64;
+        let mut fallbacks = 0u64;
+
         let mut components = Vec::with_capacity(groups.len());
-        for (key, indices) in groups {
+        for (key, indices) in &groups {
             let rows: Vec<&[f64]> = indices.iter().map(|&i| features.row(i)).collect();
-            let gaussian = match &pooled_cov {
+            let first_try = match &pooled_cov {
                 Some(cov) => {
                     let mean = faction_linalg::stats::mean_vector(&rows)?;
-                    Gaussian::from_mean_cov(mean, cov)?
+                    Gaussian::from_mean_cov(mean, cov)
                 }
-                None => Gaussian::fit(&rows, cfg.ridge)?,
+                None => Gaussian::fit(&rows, cfg.ridge),
             };
-            let log_prior = (indices.len() as f64 / n as f64).ln();
-            components.push((key, gaussian, log_prior));
+            let gaussian = match first_try {
+                Ok(g) => g,
+                Err(_) => {
+                    // Ridge-escalation ladder: a singular or ill-conditioned
+                    // cell covariance gets progressively heavier
+                    // regularization before any structural fallback.
+                    let mut escalated = None;
+                    for factor in [1e3, 1e6, 1e9] {
+                        escalations += 1;
+                        if let Ok(g) = Gaussian::fit(&rows, ladder_base * factor) {
+                            escalated = Some(g);
+                            break;
+                        }
+                    }
+                    match escalated {
+                        Some(g) => g,
+                        None => {
+                            // Structural fallback: keep the cell's mean but
+                            // borrow a covariance that is known to factor —
+                            // pooled over all usable rows first, identity as
+                            // the unconditional last resort.
+                            fallbacks += 1;
+                            let mean = faction_linalg::stats::mean_vector(&rows)?;
+                            if shared_fallback_cov.is_none() {
+                                let all_rows: Vec<&[f64]> =
+                                    all_indices.iter().map(|&i| features.row(i)).collect();
+                                shared_fallback_cov = faction_linalg::stats::covariance(
+                                    &all_rows,
+                                    ladder_base,
+                                )
+                                .ok();
+                            }
+                            let pooled_component = shared_fallback_cov
+                                .as_ref()
+                                .and_then(|cov| Gaussian::from_mean_cov(mean.clone(), cov).ok());
+                            match pooled_component {
+                                Some(g) => g,
+                                None => Gaussian::from_mean_cov(
+                                    mean,
+                                    &Matrix::identity(features.cols()),
+                                )?,
+                            }
+                        }
+                    }
+                }
+            };
+            let log_prior = (indices.len() as f64 / n_used as f64).ln();
+            components.push((*key, gaussian, log_prior));
+        }
+        if escalations > 0 {
+            faction_telemetry::counter_add("density.ridge_escalations", escalations);
+        }
+        if fallbacks > 0 {
+            faction_telemetry::counter_add("density.fallback_components", fallbacks);
         }
         // One Cholesky factorization per component (shared-covariance mode
         // still re-factors per mean).
@@ -659,6 +755,102 @@ mod tests {
         let (x, y, s) = four_clusters(10, 8);
         let est = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
         assert!(est.log_density(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn non_finite_rows_are_excluded_bitwise() {
+        // Fitting with poisoned rows interleaved must produce the *same*
+        // estimator (bit-for-bit densities) as fitting on the finite subset
+        // alone — the skipped rows leave no trace in means, covariances, or
+        // priors.
+        let (x, y, s) = four_clusters(12, 20);
+        let clean = FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default())
+            .unwrap();
+        let mut rows: Vec<Vec<f64>> = x.iter_rows().map(<[f64]>::to_vec).collect();
+        let mut labels = y.clone();
+        let mut sens = s.clone();
+        for (at, poison) in [(0usize, f64::NAN), (17, f64::INFINITY), (30, f64::NEG_INFINITY)] {
+            rows.insert(at, vec![poison, 1.0]);
+            labels.insert(at, 0);
+            sens.insert(at, 1);
+        }
+        let px = Matrix::from_rows(&rows).unwrap();
+        let poisoned =
+            FairDensityEstimator::fit(&px, &labels, &sens, 2, &FairDensityConfig::default())
+                .unwrap();
+        assert_eq!(poisoned.num_components(), clean.num_components());
+        for z in [[0.0, 0.0], [6.0, 6.0], [3.0, 2.0]] {
+            assert_eq!(
+                poisoned.log_density(&z).unwrap().to_bits(),
+                clean.log_density(&z).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn all_non_finite_rows_error_no_data() {
+        let x = Matrix::from_rows(&[vec![f64::NAN, 0.0], vec![1.0, f64::INFINITY]]).unwrap();
+        assert_eq!(
+            FairDensityEstimator::fit(&x, &[0, 1], &[1, -1], 2, &FairDensityConfig::default())
+                .unwrap_err(),
+            DensityError::NoData
+        );
+    }
+
+    #[test]
+    fn degenerate_cell_degrades_instead_of_erroring() {
+        // One cell's features are so large that its covariance overflows to
+        // infinity: no ridge can rescue it, so the fit must climb the ladder,
+        // fall back, and still return a usable estimator for the healthy
+        // cells.
+        use std::sync::Arc;
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut sens = Vec::new();
+        let mut rng = SeedRng::new(21);
+        for _ in 0..20 {
+            rows.push(vec![rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)]);
+            labels.push(0usize);
+            sens.push(1i8);
+        }
+        for i in 0..6 {
+            rows.push(vec![1e200 * (i + 1) as f64, -1e200]);
+            labels.push(1);
+            sens.push(-1);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let registry = Arc::new(faction_telemetry::Registry::new());
+        let est = {
+            let handle = faction_telemetry::Handle::from(registry.clone());
+            let _scope = handle.enter();
+            FairDensityEstimator::fit(&x, &labels, &sens, 2, &FairDensityConfig::default())
+                .unwrap()
+        };
+        assert_eq!(est.num_components(), 2);
+        // The healthy cell still scores sensibly...
+        let familiar = est.log_density(&[0.0, 0.0]).unwrap();
+        assert!(familiar.is_finite());
+        // ...and the degraded cell never errors (it may report -inf density).
+        assert!(est.log_density(&[5.0, 5.0]).is_ok());
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counter("density.ridge_escalations").unwrap_or(0) >= 1);
+        assert!(snapshot.counter("density.fallback_components").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn clean_fit_reports_no_degradation() {
+        use std::sync::Arc;
+        let (x, y, s) = four_clusters(15, 22);
+        let registry = Arc::new(faction_telemetry::Registry::new());
+        {
+            let handle = faction_telemetry::Handle::from(registry.clone());
+            let _scope = handle.enter();
+            FairDensityEstimator::fit(&x, &y, &s, 2, &FairDensityConfig::default()).unwrap();
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("density.gda.nonfinite_rows_skipped"), None);
+        assert_eq!(snapshot.counter("density.ridge_escalations"), None);
+        assert_eq!(snapshot.counter("density.fallback_components"), None);
     }
 
     #[test]

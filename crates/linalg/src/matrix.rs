@@ -141,6 +141,14 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Replaces every non-finite entry (NaN, ±∞) with `0.0` and returns the
+    /// number of entries replaced. The containment boundary for corrupted
+    /// feature batches: a fully finite matrix is left bit-identical (see
+    /// [`crate::vector::sanitize_scores`]).
+    pub fn sanitize_non_finite(&mut self) -> usize {
+        crate::vector::sanitize_scores(&mut self.data)
+    }
+
     /// Element accessor.
     ///
     /// # Panics
@@ -597,5 +605,14 @@ mod tests {
         m.push_row(&[3.0, 4.0]).unwrap();
         assert_eq!(m, Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap());
         assert!(m.push_row(&[5.0]).is_err());
+    }
+
+    #[test]
+    fn sanitize_non_finite_scrubs_poison_only() {
+        let mut m =
+            Matrix::from_rows(&[vec![1.0, f64::NAN], vec![f64::INFINITY, -2.0]]).unwrap();
+        assert_eq!(m.sanitize_non_finite(), 2);
+        assert_eq!(m, Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -2.0]]).unwrap());
+        assert_eq!(m.sanitize_non_finite(), 0, "second pass is a no-op");
     }
 }

@@ -135,6 +135,52 @@ pub fn logsumexp(a: &[f64]) -> f64 {
     m + a.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
 }
 
+/// A total order over `f64` for ascending sorts: non-NaN values compare via
+/// [`f64::total_cmp`]; any NaN (either sign) sorts **after** every non-NaN
+/// value, and NaNs compare equal to each other. Unlike
+/// `partial_cmp(..).unwrap_or(Equal)`, the result never depends on operand
+/// order, so sorts stay deterministic — and candidate-order independent —
+/// even when a score batch is poisoned with NaN.
+pub fn total_order(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// The descending companion of [`total_order`]: non-NaN values sort from
+/// largest to smallest and NaN still sorts **last** (a NaN score must never
+/// win a ranking).
+pub fn total_order_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// Replaces every non-finite entry (NaN, ±∞) with `0.0` in place and returns
+/// how many entries were replaced.
+///
+/// This is the workspace's score-containment primitive: selection strategies
+/// run it over their desirability outputs (0.0 = "no signal", never
+/// preferred), and the runner uses it to scrub corrupted feature values at
+/// the data boundary. A fully finite slice is left untouched, so the clean
+/// path is byte-identical with or without the call.
+pub fn sanitize_scores(scores: &mut [f64]) -> usize {
+    let mut replaced = 0;
+    for v in scores {
+        if !v.is_finite() {
+            *v = 0.0;
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
 /// Min–max normalization of `a` onto `[0, 1]`.
 ///
 /// This is the `Normalize` of the paper's Eq. (7): scores within a batch are
@@ -142,14 +188,35 @@ pub fn logsumexp(a: &[f64]) -> f64 {
 /// (max == min) every element maps to `0.0`, which makes every selection
 /// probability `ω(x) = 1 - 0 = 1`: with no information to discriminate on,
 /// every sample is an equally good query candidate.
+///
+/// Non-finite entries are contained rather than propagated: the min/max are
+/// taken over the finite entries only, `+∞` maps to `1.0`, and `-∞` and NaN
+/// map to `0.0`. A batch with no finite entries (or a constant finite batch)
+/// maps entirely to `0.0`, preserving the constant-batch convention above.
 pub fn min_max_normalize(a: &[f64]) -> Vec<f64> {
-    let lo = a.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in a {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
     let range = hi - lo;
     if !range.is_finite() || range <= 0.0 {
         return vec![0.0; a.len()];
     }
-    a.iter().map(|v| (v - lo) / range).collect()
+    a.iter()
+        .map(|&v| {
+            if v.is_finite() {
+                (v - lo) / range
+            } else if v.is_infinite() && v.is_sign_positive() {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -264,5 +331,54 @@ mod tests {
     #[test]
     fn min_max_normalize_empty() {
         assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_max_normalize_ignores_non_finite_for_range() {
+        // The finite entries normalize exactly as if the poison were absent;
+        // NaN / -inf pin to 0, +inf pins to 1.
+        let n = min_max_normalize(&[2.0, f64::NAN, 4.0, f64::INFINITY, 6.0, f64::NEG_INFINITY]);
+        assert_eq!(n, vec![0.0, 0.0, 0.5, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_normalize_all_non_finite_is_zero() {
+        let n = min_max_normalize(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(n, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn total_order_sorts_nan_last_both_directions() {
+        let mut v = vec![2.0, f64::NAN, -1.0, f64::INFINITY, 0.5];
+        v.sort_by(|a, b| total_order(*a, *b));
+        assert_eq!(&v[..4], &[-1.0, 0.5, 2.0, f64::INFINITY]);
+        assert!(v[4].is_nan());
+        let mut w = vec![2.0, f64::NAN, -1.0, f64::NEG_INFINITY, 0.5];
+        w.sort_by(|a, b| total_order_desc(*a, *b));
+        assert_eq!(&w[..4], &[2.0, 0.5, -1.0, f64::NEG_INFINITY]);
+        assert!(w[4].is_nan());
+    }
+
+    #[test]
+    fn total_order_is_operand_order_independent() {
+        use std::cmp::Ordering;
+        let vals = [1.0, -2.5, 0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(total_order(a, b), total_order(b, a).reverse());
+                assert_eq!(total_order_desc(a, b), total_order_desc(b, a).reverse());
+            }
+        }
+        assert_eq!(total_order(f64::NAN, f64::NAN), Ordering::Equal);
+    }
+
+    #[test]
+    fn sanitize_scores_replaces_only_non_finite() {
+        let mut v = vec![1.0, f64::NAN, -2.0, f64::INFINITY, f64::NEG_INFINITY];
+        assert_eq!(sanitize_scores(&mut v), 3);
+        assert_eq!(v, vec![1.0, 0.0, -2.0, 0.0, 0.0]);
+        let mut clean = vec![0.25, -0.5];
+        assert_eq!(sanitize_scores(&mut clean), 0);
+        assert_eq!(clean, vec![0.25, -0.5]);
     }
 }

@@ -40,6 +40,14 @@ run_stage "faction-analyzer (determinism & numerics lint)" \
 run_stage "perf_report --quick (smoke)" \
     cargo run -p faction-bench --release --bin perf_report -- --quick
 
+# Fault-injection gate: every strategy must survive a poisoned stream
+# (NaN/Inf features, vanishing groups, constant-feature and single-class
+# tasks) with the full budget spent, finite metrics, byte-identical results
+# across worker counts, and degradation visible in telemetry — while clean
+# streams report zero degradation (DESIGN.md §10).
+run_stage "fault-injection (poisoned streams, graceful degradation)" \
+    cargo test -q -p faction-core --release --test fault_injection
+
 # Engine gate: the parallel execution engine must build and its determinism
 # suite must prove jobs=1 and jobs=8 produce byte-identical canonical
 # results (plus sequential-path equivalence, resume, and journal replay).
