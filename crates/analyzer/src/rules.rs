@@ -52,8 +52,8 @@ pub struct FileClass {
     pub bench_crate: bool,
     /// File is a crate root (`src/lib.rs`) — `crate-hygiene` applies.
     pub crate_root: bool,
-    /// File is a designated numeric hot path (`linalg/src/kernels.rs`) —
-    /// `lossy-cast` applies.
+    /// File is a designated numeric hot path (`linalg/src/kernels.rs`,
+    /// `linalg/src/cholesky.rs`) — `lossy-cast` applies.
     pub hot_path: bool,
     /// File belongs to the telemetry crate itself — it owns the one
     /// sanctioned wall-clock read (its `Clock`) and the snapshot machinery,

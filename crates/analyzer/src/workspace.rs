@@ -104,7 +104,8 @@ pub fn classify(crate_name: &str, display: &str) -> FileClass {
         lib_crate: LIB_CRATES.contains(&crate_name),
         bench_crate: crate_name == "bench",
         crate_root: display.ends_with("src/lib.rs"),
-        hot_path: display.ends_with("linalg/src/kernels.rs"),
+        hot_path: display.ends_with("linalg/src/kernels.rs")
+            || display.ends_with("linalg/src/cholesky.rs"),
         telemetry_crate: crate_name == "telemetry",
     }
 }
@@ -117,6 +118,10 @@ mod tests {
     fn classify_assigns_scopes() {
         let c = classify("linalg", "crates/linalg/src/kernels.rs");
         assert!(c.lib_crate && c.hot_path && !c.crate_root && !c.bench_crate);
+        let c = classify("linalg", "crates/linalg/src/cholesky.rs");
+        assert!(c.lib_crate && c.hot_path, "rank-1 update loops are a hot path");
+        let c = classify("linalg", "crates/linalg/src/matrix.rs");
+        assert!(!c.hot_path);
         let c = classify("bench", "crates/bench/src/lib.rs");
         assert!(c.bench_crate && c.crate_root && !c.lib_crate);
         let c = classify("faction", "src/lib.rs");

@@ -28,8 +28,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use faction_bench::pr4;
-use faction_core::strategies::{faction::FactionParams, Faction, SelectionContext, Strategy};
-use faction_core::{ExperimentConfig, LabeledPool, OnlineModel};
+use faction_core::strategies::{
+    faction::{FactionParams, RefitMode},
+    Faction, SelectionContext, Strategy,
+};
+use faction_core::{ExperimentConfig, LabeledPool, OnlineModel, PoolPolicy};
 use faction_data::datasets::Dataset;
 use faction_data::Scale;
 use faction_density::{DensityScratch, FairDensityConfig, FairDensityEstimator};
@@ -50,6 +53,37 @@ struct StageTiming {
     calls_per_sample: usize,
     /// Timed samples taken (median is over these).
     samples: usize,
+}
+
+/// Per-pool-size round timing for one refit mode (PR 6 section).
+#[derive(Debug, Clone, Serialize)]
+struct RoundCostRow {
+    /// Labeled-pool size held steady by a sliding window.
+    pool_size: usize,
+    /// Median ns for one steady-state selection round (8 new labels replayed
+    /// into the pool, then a full candidate scoring pass) under full refit.
+    full_refit_round_ns: u64,
+    /// Same round under `RefitMode::Incremental` (rank-1 up/downdates).
+    incremental_round_ns: u64,
+}
+
+/// The report written to `BENCH_PR6.json`: per-round cost must be flat in
+/// pool size for the incremental path while the full-refit baseline grows
+/// linearly.
+#[derive(Debug, Serialize)]
+struct Bench6Report {
+    /// Report schema / PR tag.
+    report: String,
+    /// Whether this was a `--quick` smoke run.
+    quick: bool,
+    /// Steady-state round cost at each pool size, both refit modes.
+    rounds: Vec<RoundCostRow>,
+    /// incremental(largest) / incremental(smallest) — gate: ≤ 1.5.
+    incremental_growth: f64,
+    /// full(largest) / full(smallest) — gate: ≥ 3 (it is the linear path).
+    full_refit_growth: f64,
+    /// Human-readable pass/fail line.
+    gate: String,
 }
 
 /// The full report written to `BENCH_PR1.json`.
@@ -273,6 +307,95 @@ fn main() {
     });
     stages.push(round);
 
+    // --- PR6: per-round cost vs pool size (incremental vs full refit) ----
+    // A sliding window holds the pool at each target size; every timed
+    // round pushes 8 fresh labels (8 adds + 8 evictions through the delta
+    // log) and scores a small candidate batch, so the candidate-side cost
+    // is constant and the refit cost is what varies. Under full refit a
+    // round re-extracts and refits the whole pool (linear in pool size);
+    // under incremental refit it replays 16 rank-1 up/downdates (flat).
+    let pr6_sizes = [250usize, 1000, 4000];
+    let pr6_reps = if quick { 5 } else { 15 };
+    let (pr6_cands, _, _) = synthetic(16, d, 2, 53);
+    let pr6_cand_sens: Vec<i8> = (0..16).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    let mut pr6_rounds: Vec<RoundCostRow> = Vec::new();
+    for &size in &pr6_sizes {
+        let mut mode_ns = [0u64; 2];
+        for (slot, refit) in [
+            RefitMode::Full,
+            RefitMode::Incremental { reanchor_every: 64 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut pool = LabeledPool::with_policy(PoolPolicy::SlidingWindow(size), 47);
+            let mut next = 0usize;
+            let mut push_rows = |pool: &mut LabeledPool, count: usize| {
+                for _ in 0..count {
+                    let i = next % train_x.rows();
+                    pool.push(train_x.row(i).to_vec(), labels2[i], train_s[i]);
+                    next += 1;
+                }
+            };
+            push_rows(&mut pool, size);
+            let strategy = Faction::new(FactionParams { refit, ..Default::default() });
+            // Warm-up round: anchors the incremental state (and reaches the
+            // scratch high-water mark) so the timed rounds are steady-state.
+            {
+                let ctx = SelectionContext {
+                    model: &model,
+                    pool: &pool,
+                    candidates: &pr6_cands,
+                    candidate_sensitives: &pr6_cand_sens,
+                    num_classes: 2,
+                };
+                std::hint::black_box(strategy.raw_scores(&ctx));
+            }
+            let label = if slot == 0 { "full" } else { "incremental" };
+            let timing =
+                time_stage(&format!("pr6_round_{label}_{size}"), pr6_reps, 1, || {
+                    push_rows(&mut pool, 8);
+                    let ctx = SelectionContext {
+                        model: &model,
+                        pool: &pool,
+                        candidates: &pr6_cands,
+                        candidate_sensitives: &pr6_cand_sens,
+                        num_classes: 2,
+                    };
+                    std::hint::black_box(strategy.raw_scores(&ctx));
+                });
+            mode_ns[slot] = timing.median_ns;
+        }
+        pr6_rounds.push(RoundCostRow {
+            pool_size: size,
+            full_refit_round_ns: mode_ns[0],
+            incremental_round_ns: mode_ns[1],
+        });
+    }
+    let incremental_growth = pr6_rounds[pr6_rounds.len() - 1].incremental_round_ns as f64
+        / pr6_rounds[0].incremental_round_ns as f64;
+    let full_refit_growth = pr6_rounds[pr6_rounds.len() - 1].full_refit_round_ns as f64
+        / pr6_rounds[0].full_refit_round_ns as f64;
+    let pr6_gate = if incremental_growth <= 1.5 && full_refit_growth >= 3.0 {
+        format!(
+            "pass: incremental round cost grows {incremental_growth:.2}x from pool 250 to 4000 \
+             (gate: <=1.5x) while full refit grows {full_refit_growth:.2}x (gate: >=3x)"
+        )
+    } else {
+        format!(
+            "fail: incremental round cost grows {incremental_growth:.2}x from pool 250 to 4000 \
+             (gate: <=1.5x) while full refit grows {full_refit_growth:.2}x (gate: >=3x)"
+        )
+    };
+    let bench6 = Bench6Report {
+        report: "BENCH_PR6".into(),
+        quick,
+        rounds: pr6_rounds,
+        incremental_growth,
+        full_refit_growth,
+        gate: pr6_gate.clone(),
+    };
+
     // --- Phase coverage: instrumented end-to-end run ---------------------
     // One FACTION job through the engine with a live registry; the runner's
     // top-level phase spans (eval/selection/train — score and acquire nest
@@ -349,6 +472,10 @@ fn main() {
     let out = root.join("BENCH_PR1.json");
     std::fs::write(&out, format!("{json}\n")).expect("write BENCH_PR1.json");
 
+    let json6 = serde_json::to_string_pretty(&bench6).expect("bench6 serializes");
+    let out6 = root.join("BENCH_PR6.json");
+    std::fs::write(&out6, format!("{json6}\n")).expect("write BENCH_PR6.json");
+
     // Merge this harness's sections into BENCH_PR4.json, preserving the
     // scheduler section engine_scaling maintains.
     let pr4_root = pr4::repo_root();
@@ -360,12 +487,20 @@ fn main() {
     let pr4_out = pr4::save(&pr4_root, &bench4);
 
     println!("wrote {}", out.display());
+    println!("wrote {}", out6.display());
     println!("wrote {}", pr4_out.display());
     for t in &report.stages {
         println!("{:<32} median {:>12} ns", t.name, t.median_ns);
+    }
+    for r in &bench6.rounds {
+        println!(
+            "pr6_round pool={:<5} full {:>12} ns   incremental {:>12} ns",
+            r.pool_size, r.full_refit_round_ns, r.incremental_round_ns
+        );
     }
     println!("gda_batch_speedup   {gda_batch_speedup:.2}x");
     println!("matmul_256_speedup  {matmul_256_speedup:.2}x");
     println!("{overhead_gate}");
     println!("{coverage_gate}");
+    println!("{pr6_gate}");
 }

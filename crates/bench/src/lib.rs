@@ -4,7 +4,7 @@
 //! FACTION paper (see `DESIGN.md` §4 for the index). They share:
 //!
 //! * [`HarnessOptions`] — a minimal CLI (`--quick`, `--seeds N`,
-//!   `--dataset NAME`, `--out DIR`, `--jobs N`);
+//!   `--dataset NAME`, `--out DIR`, `--jobs N`, `--pool-policy SPEC`);
 //! * [`run_lineup`] — "run these strategies on this stream across seeds and
 //!   aggregate" — the inner loop of every figure, fanned out over the
 //!   `faction-engine` thread pool when `--jobs > 1` (results are identical
@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use faction_core::report::AggregatedRun;
-use faction_core::{run_experiment, ExperimentConfig, Strategy};
+use faction_core::{run_experiment, ExperimentConfig, PoolPolicy, Strategy};
 use faction_data::datasets::Dataset;
 use faction_data::{Scale, TaskStream};
 use faction_nn::MlpConfig;
@@ -47,6 +47,10 @@ pub struct HarnessOptions {
     /// default 1 keeps historical single-threaded behavior). Results are
     /// byte-identical for every value.
     pub jobs: usize,
+    /// Labeled-pool retention policy (`--pool-policy SPEC`, default
+    /// `unbounded` — the paper protocol, leaving every published figure
+    /// unchanged).
+    pub pool_policy: PoolPolicy,
 }
 
 impl HarnessOptions {
@@ -58,6 +62,7 @@ impl HarnessOptions {
             dataset: None,
             out_dir: PathBuf::from("results"),
             jobs: 1,
+            pool_policy: PoolPolicy::Unbounded,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -86,11 +91,19 @@ impl HarnessOptions {
                     let requested: usize = v.parse().expect("--jobs must be an integer");
                     options.jobs = faction_engine::resolve_workers(Some(requested));
                 }
+                "--pool-policy" => {
+                    let v = args.next().expect("--pool-policy needs a value");
+                    options.pool_policy = PoolPolicy::parse(&v)
+                        .unwrap_or_else(|e| panic!("invalid --pool-policy: {e}"));
+                }
                 other if !other.starts_with("--") => {
                     // Positional argument (e.g. fig5's `fair` / `ablation`
                     // selector) — left for the binary to re-read.
                 }
-                other => panic!("unknown flag '{other}' (try --quick/--seeds/--dataset/--out/--jobs)"),
+                other => panic!(
+                    "unknown flag '{other}' \
+                     (try --quick/--seeds/--dataset/--out/--jobs/--pool-policy)"
+                ),
             }
         }
         options
@@ -105,13 +118,15 @@ impl HarnessOptions {
         }
     }
 
-    /// The protocol configuration implied by `--quick`.
+    /// The protocol configuration implied by `--quick` and `--pool-policy`.
     pub fn experiment_config(&self) -> ExperimentConfig {
-        if self.quick {
+        let mut cfg = if self.quick {
             ExperimentConfig::quick()
         } else {
             ExperimentConfig::paper()
-        }
+        };
+        cfg.pool_policy = self.pool_policy;
+        cfg
     }
 
     /// Datasets selected by the CLI (one or all five).

@@ -2,6 +2,8 @@
 
 use faction_fairness::TotalLossConfig;
 
+use crate::pool::PoolPolicy;
+
 /// Protocol-level configuration shared by FACTION and every baseline.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -21,6 +23,10 @@ pub struct ExperimentConfig {
     /// Fairness-regularized loss configuration (μ, ε, notion) — used by
     /// strategies that opt into fair regularization.
     pub loss: TotalLossConfig,
+    /// Retention policy for the labeled pool (DESIGN.md §11). `Unbounded`
+    /// reproduces the paper; the bounded policies cap refit and retraining
+    /// cost for long streams.
+    pub pool_policy: PoolPolicy,
 }
 
 impl Default for ExperimentConfig {
@@ -33,6 +39,7 @@ impl Default for ExperimentConfig {
             train_batch_size: 64,
             learning_rate: 0.05,
             loss: TotalLossConfig::default(),
+            pool_policy: PoolPolicy::Unbounded,
         }
     }
 }
@@ -53,6 +60,7 @@ impl ExperimentConfig {
             train_batch_size: 32,
             learning_rate: 0.05,
             loss: TotalLossConfig::default(),
+            pool_policy: PoolPolicy::Unbounded,
         }
     }
 
@@ -73,6 +81,7 @@ mod tests {
         assert_eq!(cfg.acquisition_batch, 50);
         assert_eq!(cfg.warm_start, 100);
         assert_eq!(cfg.iterations_per_task(), 4);
+        assert_eq!(cfg.pool_policy, PoolPolicy::Unbounded);
     }
 
     #[test]

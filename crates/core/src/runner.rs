@@ -176,7 +176,7 @@ pub fn run_experiment(
     let run_start = Clock::start();
     telemetry::counter_add("core.runner.runs", 1);
     let mut rng = SeedRng::new(seed ^ 0x5EED_F00D);
-    let mut pool = LabeledPool::new();
+    let mut pool = LabeledPool::with_policy(cfg.pool_policy, seed);
     let mut model = OnlineModel::new(arch, cfg, seed);
     let loss = strategy.training_loss();
 

@@ -23,7 +23,7 @@ pub use coreset::Coreset;
 pub use ddu::Ddu;
 pub use decoupled::Decoupled;
 pub use entropy::EntropyAl;
-pub use faction::Faction;
+pub use faction::{Faction, FactionParams, RefitMode};
 pub use margin::MarginAl;
 pub use fal::Fal;
 pub use falcur::FalCur;

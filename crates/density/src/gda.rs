@@ -301,6 +301,23 @@ impl FairDensityEstimator {
         Self::fit(features, labels, &collapsed, num_classes, cfg)
     }
 
+    /// Assembles an estimator from pre-built components (the incremental
+    /// GDA path, which maintains per-cell Gaussians by rank-1 updates).
+    ///
+    /// `components` must be sorted by [`ComponentKey`] — the caller
+    /// (`IncrementalGda::estimator`) iterates a `BTreeMap`, which guarantees
+    /// it; the sorted order is what keeps mixture reductions deterministic
+    /// and the binary-search component lookup correct.
+    pub(crate) fn from_parts(
+        dim: usize,
+        num_classes: usize,
+        sensitive_values: Vec<i8>,
+        components: Vec<(ComponentKey, Gaussian, f64)>,
+    ) -> Self {
+        debug_assert!(components.windows(2).all(|w| w[0].0 < w[1].0));
+        FairDensityEstimator { dim, num_classes, sensitive_values, components }
+    }
+
     /// Feature-space dimensionality.
     pub fn dim(&self) -> usize {
         self.dim

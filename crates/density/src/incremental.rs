@@ -1,0 +1,590 @@
+//! Incremental GDA: streaming per-(class, sensitive) means and covariance
+//! factors maintained by rank-1 Cholesky updates/downdates.
+//!
+//! # Why
+//!
+//! The batch [`FairDensityEstimator::fit`] walks the whole labeled pool every
+//! AL round, so per-round cost grows linearly (and total stream cost
+//! quadratically) with pool size. This module keeps the same mixture — one
+//! Gaussian per (class, sensitive) cell plus empirical priors — but updates
+//! it **per sample**: adding or removing one row costs O(d³) in the feature
+//! dimension and O(1) in the pool size.
+//!
+//! # Representation
+//!
+//! The batch path fits each cell as `Σ_m = S_m/m + ridge·I`, where
+//! `S_m = Σᵢ (zᵢ−μ)(zᵢ−μ)ᵀ` is the centered scatter of the cell's `m`
+//! members (ML normalization, see [`faction_linalg::stats::covariance`]).
+//! The streaming state instead factors the *unnormalized*
+//!
+//! ```text
+//! Λ_m = m·Σ_m = S_m + m·ridge·I
+//! ```
+//!
+//! because `Λ` evolves by pure rank-1 steps. Adding a row `z` to a cell with
+//! mean `μ_m`:
+//!
+//! ```text
+//! u        = z − μ_m
+//! μ_{m+1}  = μ_m + u/(m+1)
+//! Λ_{m+1}  = Λ_m + (m/(m+1))·u uᵀ + ridge·I
+//! ```
+//!
+//! — one dense [`Cholesky::rank1_update`] plus `d` sparse basis updates
+//! `(√ridge·eᵢ)` for the ridge term (each costs only the trailing block, so
+//! the ridge sweep totals ~d³/3). Removal mirrors it with
+//! [`Cholesky::rank1_downdate`] and the *new* mean:
+//!
+//! ```text
+//! μ_{m−1}  = (m·μ_m − z)/(m−1)
+//! Λ_{m−1}  = Λ_m − ((m−1)/m)·(z−μ_{m−1})(z−μ_{m−1})ᵀ − ridge·I
+//! ```
+//!
+//! At scoring time `chol(Σ_m) = chol(Λ_m)/√m` ([`Cholesky::scaled`]), which
+//! is mathematically exact; floating-point drift against the batch fit is
+//! bounded in practice well below the documented **≤ 1e-8** score contract
+//! (tested in `tests/incremental_equivalence.rs`) provided the caller
+//! re-anchors periodically (see below).
+//!
+//! # Degradation contract (DESIGN.md §10/§11)
+//!
+//! `Λ` is positive definite by construction for `ridge > 0`, so a failed
+//! downdate is a *numerical* event, not a modeling one. When it happens the
+//! affected cell is rebuilt from its retained member rows (a local
+//! re-anchor, counted in `density.incremental.reanchors`). Situations the
+//! streaming form cannot represent — a cell whose batch fit would need the
+//! PR 5 ridge-escalation ladder or a fallback covariance — surface as
+//! errors, and the caller must invalidate the whole state and run one clean
+//! batch fit (which owns the ladder). The caller is also responsible for
+//! scheduled re-anchoring every K rounds when the feature map drifts (the
+//! FACTION strategy re-extracts pool features under a retraining network).
+
+use std::collections::BTreeMap;
+
+use faction_linalg::{stats, Cholesky, Matrix};
+
+use crate::gaussian::Gaussian;
+use crate::gda::{ComponentKey, FairDensityConfig, FairDensityEstimator};
+use crate::DensityError;
+
+/// Streaming state of one (class, sensitive) cell.
+#[derive(Debug, Clone)]
+struct CellState {
+    /// Number of member rows `m`.
+    count: usize,
+    /// Running mean `μ_m`.
+    mean: Vec<f64>,
+    /// Cholesky factor of `Λ_m = S_m + m·ridge·I`.
+    lambda: Cholesky,
+}
+
+/// What the estimator remembers about one inserted row.
+#[derive(Debug, Clone)]
+enum RowRecord {
+    /// The row participates in a cell; the stored vector is exactly what was
+    /// added, so removal subtracts the same bits.
+    Used { key: ComponentKey, z: Vec<f64> },
+    /// The row had non-finite features and was excluded (mirroring the batch
+    /// fit's row skipping); removal is a no-op.
+    Skipped,
+}
+
+/// Incrementally maintained fairness-sensitive GDA mixture.
+///
+/// Rows are keyed by caller-supplied `u64` uids (the labeled pool's row
+/// uids): [`IncrementalGda::insert`] stores the feature vector it was given,
+/// and [`IncrementalGda::remove`] subtracts exactly that stored vector —
+/// which is what makes eviction sound even when the caller's feature map has
+/// drifted since insertion.
+#[derive(Debug, Clone)]
+pub struct IncrementalGda {
+    dim: usize,
+    num_classes: usize,
+    cfg: FairDensityConfig,
+    cells: BTreeMap<ComponentKey, CellState>,
+    rows: BTreeMap<u64, RowRecord>,
+    total_used: usize,
+}
+
+impl IncrementalGda {
+    /// Creates an empty streaming estimator.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::Incremental`] when the configuration cannot
+    /// be maintained incrementally: `shared_covariance` couples every cell
+    /// to every row (a single insert would be a rank-|cells| change), and a
+    /// non-positive ridge leaves single-member cells unfactorable — both
+    /// cases belong to the batch path.
+    pub fn new(
+        dim: usize,
+        num_classes: usize,
+        cfg: FairDensityConfig,
+    ) -> Result<Self, DensityError> {
+        if cfg.shared_covariance {
+            return Err(DensityError::Incremental {
+                what: "shared_covariance requires the batch fit".into(),
+            });
+        }
+        if !(cfg.ridge.is_finite() && cfg.ridge > 0.0) {
+            return Err(DensityError::Incremental {
+                what: format!("incremental GDA needs a positive ridge, got {}", cfg.ridge),
+            });
+        }
+        Ok(IncrementalGda {
+            dim,
+            num_classes,
+            cfg,
+            cells: BTreeMap::new(),
+            rows: BTreeMap::new(),
+            total_used: 0,
+        })
+    }
+
+    /// Builds the state from a full row set in one pass (the re-anchor
+    /// path): batch statistics per cell, factored once — O(n·d²) total,
+    /// cheaper and tighter than n single-row inserts.
+    ///
+    /// Non-finite rows are recorded as skipped, exactly like the batch fit.
+    ///
+    /// # Errors
+    /// * The constructor errors of [`IncrementalGda::new`].
+    /// * [`DensityError::DimensionMismatch`] on ragged inputs.
+    /// * [`DensityError::Incremental`] when a cell covariance cannot be
+    ///   factored even with jitter — the caller must fall back to
+    ///   [`FairDensityEstimator::fit`], which owns the escalation ladder.
+    pub fn from_rows(
+        features: &Matrix,
+        labels: &[usize],
+        sensitive: &[i8],
+        uids: &[u64],
+        num_classes: usize,
+        cfg: FairDensityConfig,
+    ) -> Result<Self, DensityError> {
+        let n = features.rows();
+        if labels.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: labels.len() });
+        }
+        if sensitive.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: sensitive.len() });
+        }
+        if uids.len() != n {
+            return Err(DensityError::DimensionMismatch { expected: n, got: uids.len() });
+        }
+        let mut state = Self::new(features.cols(), num_classes, cfg)?;
+        let mut groups: BTreeMap<ComponentKey, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            if !features.row(i).iter().all(|v| v.is_finite()) {
+                state.rows.insert(uids[i], RowRecord::Skipped);
+                continue;
+            }
+            let key = ComponentKey { class: labels[i], sensitive: sensitive[i] };
+            groups.entry(key).or_default().push(i);
+            state
+                .rows
+                .insert(uids[i], RowRecord::Used { key, z: features.row(i).to_vec() });
+        }
+        for (key, indices) in groups {
+            let rows: Vec<&[f64]> = indices.iter().map(|&i| features.row(i)).collect();
+            let cell = Self::fit_cell(&rows, state.cfg.ridge)?;
+            state.total_used += cell.count;
+            state.cells.insert(key, cell);
+        }
+        Ok(state)
+    }
+
+    /// Batch-fits one cell: `chol(Λ_m) = chol(Σ_m)·√m` with the same
+    /// jittered factorization the batch `Gaussian::fit` uses, so an anchored
+    /// cell starts bit-equivalent (up to the √m scale round-trip) to its
+    /// batch counterpart.
+    fn fit_cell(rows: &[&[f64]], ridge: f64) -> Result<CellState, DensityError> {
+        let (mean, cov) = stats::mean_and_covariance(rows, ridge)?;
+        let sigma_chol = Cholesky::factor_with_jitter(&cov, 1e-9, 10).map_err(|e| {
+            DensityError::Incremental {
+                what: format!("cell covariance not factorable without escalation: {e}"),
+            }
+        })?;
+        let m = rows.len() as f64;
+        let lambda = sigma_chol.scaled(m.sqrt())?;
+        Ok(CellState { count: rows.len(), mean, lambda })
+    }
+
+    /// Number of rows currently contributing to the mixture (excludes
+    /// skipped non-finite rows).
+    pub fn len_used(&self) -> usize {
+        self.total_used
+    }
+
+    /// Whether a row uid is tracked (used or skipped).
+    pub fn contains(&self, uid: u64) -> bool {
+        self.rows.contains_key(&uid)
+    }
+
+    /// Inserts one labeled row under `uid`.
+    ///
+    /// Non-finite rows are recorded but excluded from the statistics (the
+    /// batch fit's skipping rule). Cost: one dense rank-1 update plus `d`
+    /// sparse ridge updates, independent of how many rows the estimator
+    /// holds. Counted in `density.incremental.updates`.
+    ///
+    /// # Errors
+    /// * [`DensityError::DimensionMismatch`] for a wrong-length `z`.
+    /// * [`DensityError::Incremental`] for a duplicate uid.
+    pub fn insert(
+        &mut self,
+        uid: u64,
+        z: &[f64],
+        class: usize,
+        sensitive: i8,
+    ) -> Result<(), DensityError> {
+        if z.len() != self.dim {
+            return Err(DensityError::DimensionMismatch { expected: self.dim, got: z.len() });
+        }
+        if self.rows.contains_key(&uid) {
+            return Err(DensityError::Incremental {
+                what: format!("duplicate row uid {uid}"),
+            });
+        }
+        faction_telemetry::counter_add("density.incremental.updates", 1);
+        if !z.iter().all(|v| v.is_finite()) {
+            faction_telemetry::counter_add("density.gda.nonfinite_rows_skipped", 1);
+            self.rows.insert(uid, RowRecord::Skipped);
+            return Ok(());
+        }
+        let key = ComponentKey { class, sensitive };
+        let ridge = self.cfg.ridge;
+        match self.cells.get_mut(&key) {
+            None => {
+                // Bootstrap: a single member has zero scatter, so
+                // Λ₁ = ridge·I exactly (matching the batch single-sample
+                // covariance `ridge·I`).
+                let mut l = Matrix::zeros(z.len(), z.len());
+                let sqrt_ridge = ridge.sqrt();
+                for i in 0..z.len() {
+                    l.set(i, i, sqrt_ridge);
+                }
+                let cell =
+                    CellState { count: 1, mean: z.to_vec(), lambda: Cholesky::from_lower(l)? };
+                self.cells.insert(key, cell);
+            }
+            Some(cell) => {
+                let m = cell.count as f64;
+                let scale = (m / (m + 1.0)).sqrt();
+                let mut v: Vec<f64> = z
+                    .iter()
+                    .zip(&cell.mean)
+                    .map(|(&zi, &mu)| scale * (zi - mu))
+                    .collect();
+                cell.lambda.rank1_update(&v)?;
+                for (i, (mu, &zi)) in cell.mean.iter_mut().zip(z).enumerate() {
+                    *mu += (zi - *mu) / (m + 1.0);
+                    v[i] = 0.0;
+                }
+                Self::shift_diagonal(&mut cell.lambda, &mut v, ridge.sqrt(), true)?;
+                cell.count += 1;
+            }
+        }
+        self.total_used += 1;
+        self.rows.insert(uid, RowRecord::Used { key, z: z.to_vec() });
+        Ok(())
+    }
+
+    /// Removes the row inserted under `uid`, subtracting exactly the stored
+    /// vector. Skipped rows remove as a no-op. Counted in
+    /// `density.incremental.downdates`.
+    ///
+    /// A downdate that loses positive definiteness — numerically possible
+    /// even though `Λ` is PD by construction — triggers a local rebuild of
+    /// the affected cell from its retained rows, counted in
+    /// `density.incremental.reanchors`.
+    ///
+    /// # Errors
+    /// * [`DensityError::Incremental`] for an unknown uid.
+    /// * Rebuild errors propagate as in [`IncrementalGda::from_rows`]; the
+    ///   caller must then invalidate the state and batch-fit.
+    pub fn remove(&mut self, uid: u64) -> Result<(), DensityError> {
+        let record = self.rows.remove(&uid).ok_or_else(|| DensityError::Incremental {
+            what: format!("unknown row uid {uid}"),
+        })?;
+        let (key, z) = match record {
+            RowRecord::Skipped => return Ok(()),
+            RowRecord::Used { key, z } => (key, z),
+        };
+        faction_telemetry::counter_add("density.incremental.downdates", 1);
+        self.total_used -= 1;
+        let Some(cell) = self.cells.get_mut(&key) else {
+            return Err(DensityError::Incremental {
+                what: format!("row uid {uid} points at a missing cell"),
+            });
+        };
+        if cell.count == 1 {
+            // Last member: the cell vanishes (prior 0, no component) — same
+            // as the batch fit seeing no rows for it.
+            self.cells.remove(&key);
+            return Ok(());
+        }
+        let m = cell.count as f64;
+        for (mu, &zi) in cell.mean.iter_mut().zip(&z) {
+            *mu = (m * *mu - zi) / (m - 1.0);
+        }
+        cell.count -= 1;
+        let scale = ((m - 1.0) / m).sqrt();
+        let mut v: Vec<f64> = z
+            .iter()
+            .zip(&cell.mean)
+            .map(|(&zi, &mu)| scale * (zi - mu))
+            .collect();
+        let downdated = cell.lambda.rank1_downdate(&v).and_then(|()| {
+            v.iter_mut().for_each(|x| *x = 0.0);
+            Self::shift_diagonal(&mut cell.lambda, &mut v, self.cfg.ridge.sqrt(), false)
+        });
+        if downdated.is_err() {
+            self.rebuild_cell(key)?;
+        }
+        Ok(())
+    }
+
+    /// Applies `Λ ± ridge·I` as `d` sparse basis rank-1 steps. `basis` must
+    /// arrive zeroed and is left zeroed; each step only touches the trailing
+    /// block thanks to the leading-zero skip in the rank-1 kernels.
+    fn shift_diagonal(
+        lambda: &mut Cholesky,
+        basis: &mut [f64],
+        sqrt_ridge: f64,
+        up: bool,
+    ) -> Result<(), faction_linalg::LinalgError> {
+        for i in 0..basis.len() {
+            basis[i] = sqrt_ridge;
+            let step = if up {
+                lambda.rank1_update(basis)
+            } else {
+                lambda.rank1_downdate(basis)
+            };
+            basis[i] = 0.0;
+            step?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds one cell from its retained member rows (local re-anchor
+    /// after a numerically failed downdate).
+    fn rebuild_cell(&mut self, key: ComponentKey) -> Result<(), DensityError> {
+        faction_telemetry::counter_add("density.incremental.reanchors", 1);
+        let rows: Vec<&[f64]> = self
+            .rows
+            .values()
+            .filter_map(|r| match r {
+                RowRecord::Used { key: k, z } if *k == key => Some(z.as_slice()),
+                _ => None,
+            })
+            .collect();
+        let cell = Self::fit_cell(&rows, self.cfg.ridge)?;
+        self.cells.insert(key, cell);
+        Ok(())
+    }
+
+    /// Materializes the current mixture as a scoreable
+    /// [`FairDensityEstimator`]. Cost is O(cells·d²) — flat in the number of
+    /// rows — and the result scores through the same batched paths as the
+    /// batch fit.
+    ///
+    /// # Errors
+    /// Returns [`DensityError::NoData`] when no finite rows are held (the
+    /// batch fit's condition).
+    pub fn estimator(&self) -> Result<FairDensityEstimator, DensityError> {
+        if self.total_used == 0 {
+            return Err(DensityError::NoData);
+        }
+        let mut sensitive_values: Vec<i8> = self.cells.keys().map(|k| k.sensitive).collect();
+        sensitive_values.sort_unstable();
+        sensitive_values.dedup();
+        let mut components = Vec::with_capacity(self.cells.len());
+        for (key, cell) in &self.cells {
+            let m = cell.count as f64;
+            let sigma_chol = cell.lambda.scaled(1.0 / m.sqrt())?;
+            let gaussian = Gaussian::from_mean_chol(cell.mean.clone(), sigma_chol);
+            let log_prior = (cell.count as f64 / self.total_used as f64).ln();
+            components.push((*key, gaussian, log_prior));
+        }
+        Ok(FairDensityEstimator::from_parts(
+            self.dim,
+            self.num_classes,
+            sensitive_values,
+            components,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faction_linalg::SeedRng;
+
+    fn cfg() -> FairDensityConfig {
+        FairDensityConfig::default()
+    }
+
+    fn random_row(rng: &mut SeedRng, d: usize, center: f64) -> Vec<f64> {
+        (0..d).map(|_| rng.normal(center, 1.0)).collect()
+    }
+
+    /// Max |Δ log-density| between the incremental estimator and a batch fit
+    /// over the same rows, probed at a few points.
+    fn score_gap(
+        inc: &IncrementalGda,
+        features: &Matrix,
+        labels: &[usize],
+        sens: &[i8],
+        probes: &[Vec<f64>],
+    ) -> f64 {
+        let batch = FairDensityEstimator::fit(features, labels, sens, 2, &cfg()).unwrap();
+        let est = inc.estimator().unwrap();
+        let mut worst = 0.0f64;
+        for p in probes {
+            let a = est.log_density(p).unwrap();
+            let b = batch.log_density(p).unwrap();
+            worst = worst.max((a - b).abs());
+            for c in 0..2 {
+                let ga = est.delta_g(p, c).unwrap();
+                let gb = batch.delta_g(p, c).unwrap();
+                worst = worst.max((ga - gb).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn rejects_unsupported_configs() {
+        assert!(matches!(
+            IncrementalGda::new(3, 2, FairDensityConfig { shared_covariance: true, ..cfg() }),
+            Err(DensityError::Incremental { .. })
+        ));
+        assert!(matches!(
+            IncrementalGda::new(3, 2, FairDensityConfig { ridge: 0.0, ..cfg() }),
+            Err(DensityError::Incremental { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_stream_tracks_batch_fit() {
+        let d = 4;
+        let mut rng = SeedRng::new(7);
+        let mut inc = IncrementalGda::new(d, 2, cfg()).unwrap();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        let mut sens = Vec::new();
+        let probes: Vec<Vec<f64>> =
+            (0..5).map(|_| random_row(&mut rng, d, 0.5)).collect();
+        for i in 0..200u64 {
+            let class = (i % 2) as usize;
+            let s = if i % 3 == 0 { 1i8 } else { -1 };
+            let z = random_row(&mut rng, d, class as f64 * 2.0);
+            inc.insert(i, &z, class, s).unwrap();
+            rows.push(z);
+            labels.push(class);
+            sens.push(s);
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let gap = score_gap(&inc, &features, &labels, &sens, &probes);
+        assert!(gap <= 1e-8, "max score gap {gap}");
+    }
+
+    #[test]
+    fn removal_matches_batch_fit_of_remaining_rows() {
+        let d = 3;
+        let mut rng = SeedRng::new(11);
+        let mut inc = IncrementalGda::new(d, 2, cfg()).unwrap();
+        let mut all: Vec<(u64, Vec<f64>, usize, i8)> = Vec::new();
+        for i in 0..120u64 {
+            let class = (i % 2) as usize;
+            let s = if i % 2 == 0 { 1i8 } else { -1 };
+            let z = random_row(&mut rng, d, 0.0);
+            inc.insert(i, &z, class, s).unwrap();
+            all.push((i, z, class, s));
+        }
+        // Sliding-window style: evict the oldest 60.
+        for i in 0..60u64 {
+            inc.remove(i).unwrap();
+        }
+        let rest: Vec<_> = all.into_iter().skip(60).collect();
+        let features =
+            Matrix::from_rows(&rest.iter().map(|r| r.1.clone()).collect::<Vec<_>>()).unwrap();
+        let labels: Vec<usize> = rest.iter().map(|r| r.2).collect();
+        let sens: Vec<i8> = rest.iter().map(|r| r.3).collect();
+        let probes: Vec<Vec<f64>> = (0..5).map(|_| random_row(&mut rng, d, 0.0)).collect();
+        let gap = score_gap(&inc, &features, &labels, &sens, &probes);
+        assert!(gap <= 1e-8, "max score gap after eviction {gap}");
+        assert_eq!(inc.len_used(), 60);
+    }
+
+    #[test]
+    fn from_rows_matches_insert_stream() {
+        let d = 3;
+        let mut rng = SeedRng::new(13);
+        let rows: Vec<Vec<f64>> = (0..40).map(|_| random_row(&mut rng, d, 1.0)).collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let sens: Vec<i8> = (0..40).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let uids: Vec<u64> = (0..40).collect();
+        let features = Matrix::from_rows(&rows).unwrap();
+        let anchored =
+            IncrementalGda::from_rows(&features, &labels, &sens, &uids, 2, cfg()).unwrap();
+        let mut streamed = IncrementalGda::new(d, 2, cfg()).unwrap();
+        for (i, z) in rows.iter().enumerate() {
+            streamed.insert(uids[i], z, labels[i], sens[i]).unwrap();
+        }
+        let probe = random_row(&mut rng, d, 1.0);
+        let a = anchored.estimator().unwrap().log_density(&probe).unwrap();
+        let b = streamed.estimator().unwrap().log_density(&probe).unwrap();
+        assert!((a - b).abs() <= 1e-8, "anchored {a} vs streamed {b}");
+        assert_eq!(anchored.len_used(), streamed.len_used());
+    }
+
+    #[test]
+    fn skipped_rows_leave_no_trace() {
+        let mut inc = IncrementalGda::new(2, 2, cfg()).unwrap();
+        inc.insert(0, &[0.1, 0.2], 0, 1).unwrap();
+        inc.insert(1, &[f64::NAN, 0.0], 0, 1).unwrap();
+        inc.insert(2, &[0.3, -0.1], 0, 1).unwrap();
+        assert_eq!(inc.len_used(), 2);
+        assert!(inc.contains(1));
+        inc.remove(1).unwrap(); // no-op removal of a skipped row
+        assert_eq!(inc.len_used(), 2);
+        assert!(!inc.contains(1));
+    }
+
+    #[test]
+    fn last_member_removal_drops_cell() {
+        let mut inc = IncrementalGda::new(2, 2, cfg()).unwrap();
+        inc.insert(0, &[0.0, 0.0], 0, 1).unwrap();
+        inc.insert(1, &[1.0, 1.0], 1, -1).unwrap();
+        inc.remove(1).unwrap();
+        let est = inc.estimator().unwrap();
+        assert_eq!(est.num_components(), 1);
+        assert!(!est.has_component(1, -1));
+        inc.remove(0).unwrap();
+        assert!(matches!(inc.estimator(), Err(DensityError::NoData)));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_uids_error() {
+        let mut inc = IncrementalGda::new(2, 2, cfg()).unwrap();
+        inc.insert(7, &[0.0, 0.0], 0, 1).unwrap();
+        assert!(matches!(
+            inc.insert(7, &[1.0, 1.0], 0, 1),
+            Err(DensityError::Incremental { .. })
+        ));
+        assert!(matches!(inc.remove(99), Err(DensityError::Incremental { .. })));
+    }
+
+    #[test]
+    fn single_member_cell_matches_batch_bootstrap() {
+        // Batch: single-sample covariance is exactly ridge·I. The incremental
+        // bootstrap must agree to fp precision.
+        let mut inc = IncrementalGda::new(2, 2, cfg()).unwrap();
+        inc.insert(0, &[3.0, -1.0], 0, 1).unwrap();
+        let features = Matrix::from_rows(&[vec![3.0, -1.0]]).unwrap();
+        let batch = FairDensityEstimator::fit(&features, &[0], &[1], 2, &cfg()).unwrap();
+        let a = inc.estimator().unwrap().log_density(&[3.1, -0.9]).unwrap();
+        let b = batch.log_density(&[3.1, -0.9]).unwrap();
+        assert!((a - b).abs() <= 1e-10, "{a} vs {b}");
+    }
+}

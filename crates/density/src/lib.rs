@@ -25,9 +25,11 @@
 
 pub mod gaussian;
 pub mod gda;
+pub mod incremental;
 
 pub use gaussian::Gaussian;
 pub use gda::{ComponentKey, DensityScratch, FairDensityConfig, FairDensityEstimator};
+pub use incremental::IncrementalGda;
 
 /// Errors produced by density-estimation routines.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +45,14 @@ pub enum DensityError {
         /// Observed feature dimension.
         got: usize,
     },
+    /// The incremental estimator cannot represent the request (unsupported
+    /// configuration, unknown/duplicate row uid, or a cell that needs the
+    /// batch escalation ladder). The caller should fall back to a clean
+    /// batch fit.
+    Incremental {
+        /// Human-readable reason.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for DensityError {
@@ -52,6 +62,9 @@ impl std::fmt::Display for DensityError {
             DensityError::NoData => write!(f, "no training samples supplied"),
             DensityError::DimensionMismatch { expected, got } => {
                 write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+            }
+            DensityError::Incremental { what } => {
+                write!(f, "incremental estimator limitation: {what}")
             }
         }
     }

@@ -15,7 +15,7 @@
 
 use faction_core::strategies::decoupled::Decoupled;
 use faction_core::strategies::entropy::EntropyAl;
-use faction_core::strategies::faction::{Faction, FactionParams};
+use faction_core::strategies::faction::{Faction, FactionParams, RefitMode};
 use faction_core::strategies::fal::{Fal, FalParams};
 use faction_core::strategies::falcur::FalCur;
 use faction_core::strategies::qufur::QuFur;
@@ -29,6 +29,7 @@ use faction_nn::MlpConfig;
 /// Registry names accepted by [`build_strategy`], in presentation order.
 pub const STRATEGY_NAMES: &[&str] = &[
     "faction",
+    "faction-incremental",
     "faction-no-select",
     "faction-no-reg",
     "faction-uncertainty",
@@ -58,6 +59,10 @@ pub fn build_strategy(
     };
     Some(match name.to_ascii_lowercase().as_str() {
         "faction" => Box::new(Faction::new(params)),
+        "faction-incremental" => Box::new(Faction::new(FactionParams {
+            refit: RefitMode::Incremental { reanchor_every: 64 },
+            ..params
+        })),
         "faction-no-select" => Box::new(Faction::without_fair_select(params)),
         "faction-no-reg" => Box::new(Faction::without_fair_reg(params)),
         "faction-uncertainty" => Box::new(Faction::uncertainty_only(params)),

@@ -2,7 +2,7 @@
 //! canonical output at `--jobs 1` and `--jobs 8`, and both match the plain
 //! sequential (non-engine) code path.
 
-use faction_core::{run_experiment, ExperimentConfig, RunRecord};
+use faction_core::{run_experiment, ExperimentConfig, PoolPolicy, RunRecord};
 use faction_data::datasets::Dataset;
 use faction_data::Scale;
 use faction_engine::job::ArchPreset;
@@ -54,6 +54,34 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
     let b = parallel.canonical_json().unwrap();
     assert!(!a.is_empty());
     assert_eq!(a, b, "canonical grid output must not depend on worker count");
+}
+
+#[test]
+fn bounded_pools_and_incremental_refit_stay_byte_identical_across_workers() {
+    // Eviction order and reservoir draws are pure functions of
+    // (stream, seed, policy), and the incremental GDA state is per-job, so
+    // bounded-pool grids must stay scheduler-independent too.
+    let mut grid = Vec::new();
+    for policy in ["window:40", "reservoir:40:3"] {
+        for seed in 0..2u64 {
+            let mut cfg = tiny_cfg();
+            cfg.pool_policy = PoolPolicy::parse(policy).unwrap();
+            let mut job =
+                ExperimentJob::new(Dataset::Nysf, "faction-incremental", seed, cfg, Scale::Quick);
+            job.arch = ArchPreset::Tiny;
+            job.truncate_tasks = Some(2);
+            job.truncate_samples = Some(80);
+            grid.push(job);
+        }
+    }
+    let sequential = Engine::with_workers(1).run_grid(&grid);
+    let parallel = Engine::with_workers(8).run_grid(&grid);
+    assert!(sequential.failures.is_empty(), "{:?}", sequential.failures);
+    assert!(parallel.failures.is_empty(), "{:?}", parallel.failures);
+    let a = sequential.canonical_json().unwrap();
+    let b = parallel.canonical_json().unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "bounded-pool output must not depend on worker count");
 }
 
 #[test]

@@ -129,6 +129,31 @@ impl Matrix {
         Ok(())
     }
 
+    /// Removes row `r`, shifting later rows up and keeping the allocation.
+    ///
+    /// This is the eviction primitive of the bounded labeled pool: a
+    /// sliding-window pool always removes row 0 (one contiguous
+    /// `copy_within` of the remaining block), a reservoir pool removes an
+    /// arbitrary row. Cost is O((rows − r) · cols), independent of how many
+    /// rows were ever pushed.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `r >= rows()`.
+    pub fn remove_row(&mut self, r: usize) -> Result<()> {
+        if r >= self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{} rows", self.rows),
+                right: format!("row index {r}"),
+                op: "remove_row",
+            });
+        }
+        let start = r * self.cols;
+        self.data.copy_within((r + 1) * self.cols.., start);
+        self.data.truncate((self.rows - 1) * self.cols);
+        self.rows -= 1;
+        Ok(())
+    }
+
     /// Immutable view of the raw row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -605,6 +630,22 @@ mod tests {
         m.push_row(&[3.0, 4.0]).unwrap();
         assert_eq!(m, Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap());
         assert!(m.push_row(&[5.0]).is_err());
+    }
+
+    #[test]
+    fn remove_row_shifts_and_shrinks() {
+        let mut m =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        m.remove_row(0).unwrap();
+        assert_eq!(m, Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap());
+        m.remove_row(1).unwrap();
+        assert_eq!(m, Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap());
+        assert!(m.remove_row(1).is_err());
+        m.remove_row(0).unwrap();
+        assert_eq!(m.rows(), 0);
+        // Column count survives emptying, so the pool can keep growing.
+        m.push_row(&[7.0, 8.0]).unwrap();
+        assert_eq!(m.shape(), (1, 2));
     }
 
     #[test]

@@ -206,4 +206,97 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn rank1_update_matches_refactorization(seed in 0u64..300, d in 1usize..12) {
+        let mut rng = SeedRng::new(seed);
+        let g = Matrix::from_vec(d, d, (0..d * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let mut spd = g.matmul(&g.transpose()).unwrap();
+        spd.add_diagonal(1.0);
+        let v: Vec<f64> = (0..d).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+        let mut chol = Cholesky::factor(&spd).unwrap();
+        chol.rank1_update(&v).unwrap();
+        let mut want = spd.clone();
+        want.add_assign(&Matrix::outer(&v, &v)).unwrap();
+        let got = chol.reconstruct();
+        for i in 0..d {
+            for j in 0..d {
+                prop_assert!(
+                    (got.get(i, j) - want.get(i, j)).abs() <= 1e-10 * (1.0 + want.get(i, j).abs()),
+                    "({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_downdate_matches_refactorization(seed in 0u64..300, d in 1usize..12) {
+        // Build A = G·Gᵀ + I + vvᵀ so that A − vvᵀ is safely SPD, then check
+        // the downdated factor against a from-scratch factorization.
+        let mut rng = SeedRng::new(seed);
+        let g = Matrix::from_vec(d, d, (0..d * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let mut base = g.matmul(&g.transpose()).unwrap();
+        base.add_diagonal(1.0);
+        let v: Vec<f64> = (0..d).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+        let mut a = base.clone();
+        a.add_assign(&Matrix::outer(&v, &v)).unwrap();
+        let mut chol = Cholesky::factor(&a).unwrap();
+        chol.rank1_downdate(&v).unwrap();
+        let got = chol.reconstruct();
+        for i in 0..d {
+            for j in 0..d {
+                prop_assert!(
+                    (got.get(i, j) - base.get(i, j)).abs() <= 1e-10 * (1.0 + base.get(i, j).abs()),
+                    "({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_update_downdate_roundtrips(seed in 0u64..300, d in 1usize..12) {
+        let mut rng = SeedRng::new(seed);
+        let g = Matrix::from_vec(d, d, (0..d * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let mut spd = g.matmul(&g.transpose()).unwrap();
+        spd.add_diagonal(1.0);
+        let v: Vec<f64> = (0..d).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+        let mut chol = Cholesky::factor(&spd).unwrap();
+        chol.rank1_update(&v).unwrap();
+        chol.rank1_downdate(&v).unwrap();
+        let got = chol.reconstruct();
+        for i in 0..d {
+            for j in 0..d {
+                prop_assert!(
+                    (got.get(i, j) - spd.get(i, j)).abs() <= 1e-9 * (1.0 + spd.get(i, j).abs()),
+                    "({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_downdate_to_singular_errors_nondestructively(seed in 0u64..300, d in 1usize..12) {
+        // A = G·Gᵀ + x xᵀ downdated by the full row x of the generator plus a
+        // little extra mass must fail: the result would not be PD. The
+        // factor must be byte-identical afterwards (fallback contract).
+        let mut rng = SeedRng::new(seed);
+        let g = Matrix::from_vec(d, d, (0..d * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .unwrap();
+        let mut spd = g.matmul(&g.transpose()).unwrap();
+        spd.add_diagonal(1e-3);
+        let mut chol = Cholesky::factor(&spd).unwrap();
+        let before: Vec<u64> =
+            chol.factor_l().as_slice().iter().map(|x| x.to_bits()).collect();
+        // Downdating by √(A[0][0] + margin)·e₀ drives the (0,0) entry
+        // negative, which no PD matrix allows.
+        let mut v = vec![0.0; d];
+        v[0] = (spd.get(0, 0) + 1.0).sqrt();
+        prop_assert!(chol.rank1_downdate(&v).is_err());
+        let after: Vec<u64> =
+            chol.factor_l().as_slice().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(before, after);
+    }
 }

@@ -2,8 +2,11 @@
 set -x
 cd "$(dirname "$0")"
 B=./target/release
+# Pool retention policy; `unbounded` (the explicit default) is the paper
+# protocol, so the regenerated finals match the published ones.
+POOL_POLICY="${POOL_POLICY:-unbounded}"
 $B/theory_bounds --seeds 3 && echo DONE:theory2
-$B/fig5_runtime fair --seeds 2 --dataset NYSF && echo DONE:fig5a2
-$B/fig5_runtime ablation --seeds 2 --dataset NYSF && echo DONE:fig5b2
-$B/fig3_tradeoff --dataset NYSF --seeds 2 && echo DONE:fig3b
+$B/fig5_runtime fair --seeds 2 --dataset NYSF --pool-policy "$POOL_POLICY" && echo DONE:fig5a2
+$B/fig5_runtime ablation --seeds 2 --dataset NYSF --pool-policy "$POOL_POLICY" && echo DONE:fig5b2
+$B/fig3_tradeoff --dataset NYSF --seeds 2 --pool-policy "$POOL_POLICY" && echo DONE:fig3b
 echo RERUN_COMPLETE

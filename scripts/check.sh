@@ -40,6 +40,19 @@ run_stage "faction-analyzer (determinism & numerics lint)" \
 run_stage "perf_report --quick (smoke)" \
     cargo run -p faction-bench --release --bin perf_report -- --quick
 
+# Incremental-GDA correctness gate: on a stationary stream with a frozen
+# model, the rank-1 update/downdate path must stay within 1e-8 of a full
+# batch refit — unbounded and under sliding-window eviction — and snap
+# back to <=1e-10 immediately after a re-anchor (DESIGN.md §11).
+run_stage "incremental-GDA stationary equivalence (<=1e-8 vs batch refit)" \
+    cargo test -q -p faction-density --release --test incremental_equivalence
+
+# Cross-PR perf gate: read every committed BENCH_PR*.json, print the key
+# medians side by side, and fail on a >10% regression of any gated stage
+# (harness-written "fail:" gates also fail; "not-applicable:" does not).
+run_stage "bench trend (cross-PR perf gates)" \
+    cargo run -q -p faction-bench --release --bin bench_trend
+
 # Fault-injection gate: every strategy must survive a poisoned stream
 # (NaN/Inf features, vanishing groups, constant-feature and single-class
 # tasks) with the full budget spent, finite metrics, byte-identical results

@@ -23,22 +23,26 @@ USAGE:
   faction_cli list
   faction_cli run   --dataset NAME [--strategy NAME] [--seeds N] [--budget B]
                     [--mu F] [--lambda F] [--jobs N] [--quick]
-                    [--metrics-out PATH]
+                    [--pool-policy SPEC] [--metrics-out PATH]
   faction_cli grid  [--datasets A,B|--dataset NAME] [--strategies X,Y] [--seeds N]
                     [--budget B] [--mu F] [--lambda F] [--jobs N] [--quick]
-                    [--out DIR] [--checkpoint-dir DIR] [--journal PATH]
-                    [--metrics-out PATH]
+                    [--pool-policy SPEC] [--out DIR] [--checkpoint-dir DIR]
+                    [--journal PATH] [--metrics-out PATH]
   faction_cli drift --dataset NAME [--quick]
   faction_cli stats --dataset NAME [--quick]
 
   --jobs N          worker threads for the execution engine (0 = auto-detect);
                     results are byte-identical for every N.
+  --pool-policy S   labeled-pool retention: unbounded (default, the paper
+                    protocol) | window:N (keep newest N) | reservoir:N[:SEED]
+                    (uniform sample of the whole stream).
   --metrics-out P   write a telemetry snapshot (sorted-key JSON: counters,
                     gauges, phase histograms) to P after the run; recording
                     never changes results.
 
-STRATEGIES: faction, faction-no-select, faction-no-reg, faction-uncertainty,
-            fal, fal-cur, decoupled, qufur, ddu, entropy, random
+STRATEGIES: faction, faction-incremental, faction-no-select, faction-no-reg,
+            faction-uncertainty, fal, fal-cur, decoupled, qufur, ddu, entropy,
+            random
 DATASETS:   RCMNIST, CelebA, FairFace, FFHQ, NYSF
 ";
 
@@ -124,6 +128,10 @@ fn config_from_flags(flags: &Flags) -> (ExperimentConfig, Scale, bool) {
     if let Some(mu) = flags.parse_value("mu", "float") {
         cfg.loss.mu = mu;
     }
+    if let Some(spec) = flags.get("pool-policy") {
+        cfg.pool_policy = PoolPolicy::parse(spec)
+            .unwrap_or_else(|e| usage_error(&format!("invalid --pool-policy: {e}")));
+    }
     let scale = if quick { Scale::Quick } else { Scale::Full };
     (cfg, scale, quick)
 }
@@ -172,7 +180,18 @@ fn cmd_list() {
 fn cmd_run(flags: &Flags) {
     flags.expect_known(
         "run",
-        &["dataset", "strategy", "seeds", "budget", "mu", "lambda", "jobs", "quick", "metrics-out"],
+        &[
+            "dataset",
+            "strategy",
+            "seeds",
+            "budget",
+            "mu",
+            "lambda",
+            "jobs",
+            "quick",
+            "pool-policy",
+            "metrics-out",
+        ],
     );
     let (cfg, scale, quick) = config_from_flags(flags);
     let dataset = flags.dataset("dataset").unwrap_or_else(|| {
@@ -245,6 +264,7 @@ fn cmd_grid(flags: &Flags) {
             "lambda",
             "jobs",
             "quick",
+            "pool-policy",
             "out",
             "checkpoint-dir",
             "journal",

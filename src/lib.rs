@@ -57,14 +57,14 @@ pub use faction_nn as nn;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use faction_core::strategies::faction::{Faction, FactionParams};
+    pub use faction_core::strategies::faction::{Faction, FactionParams, RefitMode};
     pub use faction_core::strategies::{SelectionContext, Strategy};
     pub use faction_core::checkpoint::Checkpoint;
     pub use faction_core::drift::DriftDetector;
     pub use faction_core::streaming::{StreamingNormalizer, StreamingSelector};
     pub use faction_core::{
         run_experiment, ExperimentConfig, FairTotalLoss, LabeledPool, MultiGroupFairLoss,
-        OnlineModel, RunRecord,
+        OnlineModel, PoolPolicy, RunRecord,
     };
     pub use faction_data::datasets::Dataset;
     pub use faction_data::{Oracle, Sample, Scale, Task, TaskStream};
