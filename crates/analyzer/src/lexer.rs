@@ -9,7 +9,9 @@
 //! merely *mentions* `thread_rng`.
 //!
 //! Line comments are additionally parsed for the suppression syntax
-//! `// analyzer:allow(<rule>): <reason>` (see [`Allow`]).
+//! `// analyzer:allow(<rule>): <reason>` (see [`Allow`]) and for the v2
+//! attestation markers (see [`Marker`]): `// analyzer:hot-path`,
+//! `// analyzer:ordered`, and `// analyzer:unsafe(invariant): <reason>`.
 
 /// Kind of a scanned token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +27,9 @@ pub enum TokKind {
     /// Floating-point literal (has a fractional part, an exponent, or an
     /// explicit `f32`/`f64` suffix).
     Float,
-    /// String, raw-string, byte-string, or char literal (content dropped).
+    /// String, raw-string, byte-string, or char literal. Plain and raw
+    /// string bodies keep their content (the telemetry-key rule matches
+    /// literal keys); char/byte-char literals stay empty.
     Str,
     /// Lifetime (`'a`, `'static`).
     Lifetime,
@@ -36,8 +40,9 @@ pub enum TokKind {
 pub struct Tok {
     /// Token kind.
     pub kind: TokKind,
-    /// Token text. For [`TokKind::Str`] the content is dropped and this is
-    /// empty; for numeric literals it is the raw literal text.
+    /// Token text. For [`TokKind::Str`] this is the literal's body (without
+    /// quotes/delimiters, escapes left raw); for numeric literals it is the
+    /// raw literal text.
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -69,6 +74,33 @@ pub struct Allow {
     pub used: bool,
 }
 
+/// Kind of a v2 attestation marker comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `// analyzer:hot-path` — seeds the `hot-path-alloc` reachability
+    /// walk at the next `fn` item.
+    HotPath,
+    /// `// analyzer:ordered` — attests that a float reduction's evaluation
+    /// order is part of the determinism contract and deliberate.
+    Ordered,
+    /// `// analyzer:unsafe(invariant): <reason>` — documents the invariant
+    /// an `unsafe` block relies on.
+    UnsafeInvariant,
+}
+
+/// A parsed attestation marker comment (non-suppressing metadata that the
+/// v2 rules consume; contrast with [`Allow`], which silences a finding).
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Which marker this is.
+    pub kind: MarkerKind,
+    /// Free text after the marker's colon (only `unsafe(invariant)` takes
+    /// one; empty means the mandatory invariant text is missing).
+    pub reason: String,
+}
+
 /// Result of scanning one source file.
 #[derive(Debug, Default)]
 pub struct LexOutput {
@@ -76,6 +108,8 @@ pub struct LexOutput {
     pub tokens: Vec<Tok>,
     /// Suppression comments in source order.
     pub allows: Vec<Allow>,
+    /// Attestation markers in source order.
+    pub markers: Vec<Marker>,
 }
 
 /// Operators fused into a single [`TokKind::Punct`] token.
@@ -122,6 +156,8 @@ pub fn lex(src: &str) -> LexOutput {
             let text: String = chars[start..j].iter().collect();
             if let Some(allow) = parse_allow(&text, line) {
                 out.allows.push(allow);
+            } else if let Some(marker) = parse_marker(&text, line) {
+                out.markers.push(marker);
             }
             i = j;
             continue;
@@ -149,8 +185,10 @@ pub fn lex(src: &str) -> LexOutput {
         }
         // String literal.
         if c == '"' {
-            i = skip_string(&chars, i + 1, &mut line);
-            out.tokens.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            let start_line = line;
+            let (end, content) = skip_string(&chars, i + 1, &mut line);
+            i = end;
+            out.tokens.push(Tok { kind: TokKind::Str, text: content, line: start_line });
             continue;
         }
         // Char literal or lifetime.
@@ -199,8 +237,10 @@ pub fn lex(src: &str) -> LexOutput {
             if matches!(ident.as_str(), "r" | "b" | "br" | "rb") {
                 let after = peek(&chars, j, 0);
                 if after == '"' || after == '#' {
-                    i = skip_raw_string(&chars, j, &mut line);
-                    out.tokens.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                    let start_line = line;
+                    let (end, content) = skip_raw_string(&chars, j, &mut line);
+                    i = end;
+                    out.tokens.push(Tok { kind: TokKind::Str, text: content, line: start_line });
                     continue;
                 }
                 if ident == "b" && after == '\'' {
@@ -243,10 +283,12 @@ pub fn lex(src: &str) -> LexOutput {
     out
 }
 
-/// Skips a non-raw string body starting *after* the opening quote; returns
-/// the index after the closing quote and tracks newlines.
-fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+/// Scans a non-raw string body starting *after* the opening quote; returns
+/// the index after the closing quote and the body text (escapes left raw,
+/// so `"a\\nb"` yields `a\nb` as four characters), tracking newlines.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> (usize, String) {
     let n = chars.len();
+    let start = i;
     while i < n {
         match chars[i] {
             '\\' => i += 2,
@@ -254,16 +296,16 @@ fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
                 *line += 1;
                 i += 1;
             }
-            '"' => return i + 1,
+            '"' => return (i + 1, chars[start..i].iter().collect()),
             _ => i += 1,
         }
     }
-    i
+    (i, chars[start..i.min(n)].iter().collect())
 }
 
-/// Skips a raw string starting at the `#`s/quote (after the `r`/`br`
-/// prefix); returns the index after the closing delimiter.
-fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+/// Scans a raw string starting at the `#`s/quote (after the `r`/`br`
+/// prefix); returns the index after the closing delimiter and the body.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> (usize, String) {
     let n = chars.len();
     let mut hashes = 0usize;
     while i < n && chars[i] == '#' {
@@ -273,6 +315,7 @@ fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     if i < n && chars[i] == '"' {
         i += 1;
     }
+    let start = i;
     while i < n {
         if chars[i] == '\n' {
             *line += 1;
@@ -285,12 +328,12 @@ fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
                 k += 1;
             }
             if k == hashes {
-                return i + 1 + hashes;
+                return (i + 1 + hashes, chars[start..i].iter().collect());
             }
         }
         i += 1;
     }
-    i
+    (i, chars[start..i.min(n)].iter().collect())
 }
 
 /// Lexes a numeric literal starting at `chars[i]` (an ASCII digit).
@@ -352,6 +395,28 @@ fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
     let after = &rest[close + 1..];
     let reason = after.strip_prefix(':').map(|r| r.trim().to_string()).unwrap_or_default();
     Some(Allow { line, rule, reason, used: false })
+}
+
+/// Parses a line comment body as an attestation marker, if it is one.
+fn parse_marker(comment: &str, line: u32) -> Option<Marker> {
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    if let Some(rest) = body.strip_prefix("analyzer:unsafe(invariant)") {
+        let reason = rest.strip_prefix(':').map(|r| r.trim().to_string()).unwrap_or_default();
+        return Some(Marker { line, kind: MarkerKind::UnsafeInvariant, reason });
+    }
+    // The bare markers must end at a word boundary so `analyzer:ordered-x`
+    // does not silently attest anything.
+    let bare = |prefix: &str| -> bool {
+        body.strip_prefix(prefix)
+            .is_some_and(|rest| rest.chars().next().is_none_or(|c| !is_ident_continue(c) && c != '-'))
+    };
+    if bare("analyzer:hot-path") {
+        return Some(Marker { line, kind: MarkerKind::HotPath, reason: String::new() });
+    }
+    if bare("analyzer:ordered") {
+        return Some(Marker { line, kind: MarkerKind::Ordered, reason: String::new() });
+    }
+    None
 }
 
 #[cfg(test)]
@@ -432,6 +497,31 @@ mod tests {
         assert_eq!(out.allows[0].reason, "sorted below");
         assert_eq!(out.allows[0].line, 1);
         assert!(out.allows[1].reason.is_empty(), "missing reason must parse as empty");
+    }
+
+    #[test]
+    fn string_tokens_keep_their_content() {
+        let toks = lex(r###"let k = "engine.pool.steals"; let r = r#"raw.key"#;"###).tokens;
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["engine.pool.steals", "raw.key"]);
+    }
+
+    #[test]
+    fn markers_parse_and_do_not_shadow_allows() {
+        let src = "// analyzer:hot-path\nfn score() {}\n// analyzer:ordered\nlet s = 0.0;\n// analyzer:unsafe(invariant): lanes cover the slice exactly\n// analyzer:allow(float-eq): guard\n// analyzer:ordered-extras must not attest\n";
+        let out = lex(src);
+        assert_eq!(out.markers.len(), 3);
+        assert_eq!(out.markers[0].kind, MarkerKind::HotPath);
+        assert_eq!(out.markers[0].line, 1);
+        assert_eq!(out.markers[1].kind, MarkerKind::Ordered);
+        assert_eq!(out.markers[1].line, 3);
+        assert_eq!(out.markers[2].kind, MarkerKind::UnsafeInvariant);
+        assert_eq!(out.markers[2].reason, "lanes cover the slice exactly");
+        assert_eq!(out.allows.len(), 1, "allow parsing is unchanged");
     }
 
     #[test]

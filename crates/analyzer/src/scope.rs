@@ -1,4 +1,5 @@
-//! Test-scope tracking over the token stream.
+//! Scope tracking over the token stream: test-code masking plus the v2
+//! binding/region resolver.
 //!
 //! The rule suite exempts test code: anything under an item annotated with a
 //! `test`-bearing attribute (`#[cfg(test)]`, `#[cfg(all(test, …))]`,
@@ -9,6 +10,15 @@
 //! Tracking is brace-depth based: the lexer guarantees braces inside
 //! strings, chars, and comments never reach us, so a simple counter with a
 //! stack of exemption start-depths is exact for well-formed code.
+//!
+//! [`resolve`] builds the lightweight symbol table the dataflow rules run
+//! on: every `fn` item with its signature line and body token range, every
+//! `let` binding with its mutability, brace depth, and a float-type hint,
+//! every `use` import, and the body ranges of `for`/`while`/`loop`
+//! expressions. It is resolution by token shape, not type checking — the
+//! rules that consume it (`hot-path-alloc`, `float-reduction-order`,
+//! `blocking-in-worker`, `unsafe-audit`) are calibrated to that precision
+//! and lean on attestation markers where syntax alone cannot decide.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -111,6 +121,224 @@ fn scan_attr(tokens: &[Tok], open: usize) -> (usize, bool) {
     (tokens.len(), has_test)
 }
 
+/// One `fn` item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `(open, close)` of the body's braces, inclusive of both
+    /// brace tokens; `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// True when token index `i` falls inside this fn's body braces.
+    pub fn contains(&self, i: usize) -> bool {
+        self.body.is_some_and(|(open, close)| i > open && i < close)
+    }
+}
+
+/// One `let` binding (or `fn` parameter with an explicit type).
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Bound identifier.
+    pub name: String,
+    /// 1-based line of the binding.
+    pub line: u32,
+    /// Whether the binding is `let mut`.
+    pub mutable: bool,
+    /// Brace depth at the binding site (0 = item level).
+    pub depth: u32,
+    /// Whether the binding is visibly floating-point: an explicit
+    /// `: f64`/`: f32` annotation or a float-literal initializer.
+    pub is_float: bool,
+}
+
+/// One `use` import line (path recorded as written, `::`-joined).
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// The imported path, e.g. `std::fs::File`.
+    pub path: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// The per-file symbol table the dataflow rules consume.
+#[derive(Debug, Default)]
+pub struct ScopeModel {
+    /// Every `fn` item in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `let` binding in source order.
+    pub bindings: Vec<Binding>,
+    /// Every `use` import in source order.
+    pub uses: Vec<UseImport>,
+    /// Body token ranges `(open, close)` of `for`/`while`/`loop`
+    /// expressions, in source order (nested loops each get an entry).
+    pub loop_bodies: Vec<(usize, usize)>,
+}
+
+impl ScopeModel {
+    /// True when token index `i` sits inside any loop body.
+    pub fn in_loop(&self, i: usize) -> bool {
+        self.loop_bodies.iter().any(|&(open, close)| i > open && i < close)
+    }
+
+    /// The innermost `fn` item whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        // Fn items cannot partially overlap, so the innermost container is
+        // the one with the latest body start.
+        self.fns
+            .iter()
+            .filter(|f| f.contains(i))
+            .max_by_key(|f| f.body.map(|(open, _)| open).unwrap_or(0))
+    }
+
+    /// Whether the file binds `name` with a float-type hint anywhere.
+    pub fn binds_float(&self, name: &str) -> bool {
+        self.bindings.iter().any(|b| b.is_float && b.name == name)
+    }
+}
+
+/// Finds the matching `}` for the `{` at token index `open`.
+fn matching_brace(tokens: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (off, t) in tokens[open..].iter().enumerate() {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open + off);
+            }
+        }
+    }
+    None
+}
+
+/// Builds the [`ScopeModel`] for one file's token stream.
+pub fn resolve(tokens: &[Tok]) -> ScopeModel {
+    let mut model = ScopeModel::default();
+    let mut depth: u32 = 0;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+        }
+        // `fn name …` — find the body `{` at paren depth 0, or a `;` that
+        // ends a bodiless declaration. Angle brackets never nest braces in
+        // a signature, so paren tracking alone is exact here.
+        if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                let mut paren = 0i64;
+                let mut j = i + 2;
+                let mut body = None;
+                while j < tokens.len() {
+                    let s = &tokens[j];
+                    if s.is_punct("(") {
+                        paren += 1;
+                    } else if s.is_punct(")") {
+                        paren -= 1;
+                    } else if paren == 0 && s.is_punct(";") {
+                        break;
+                    } else if paren == 0 && s.is_punct("{") {
+                        body = matching_brace(tokens, j).map(|close| (j, close));
+                        break;
+                    }
+                    j += 1;
+                }
+                model.fns.push(FnItem { name: name_tok.text.clone(), line: t.line, body });
+            }
+        }
+        // `let [mut] name [: Ty] [= init]` — record mutability and a float
+        // hint from the annotation or a float-literal initializer.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            let mutable = tokens.get(j).map(|m| m.is_ident("mut")).unwrap_or(false);
+            if mutable {
+                j += 1;
+            }
+            if let Some(name_tok) = tokens.get(j).filter(|n| n.kind == TokKind::Ident) {
+                let mut is_float = false;
+                if tokens.get(j + 1).map(|c| c.is_punct(":")).unwrap_or(false) {
+                    if let Some(ty) = tokens.get(j + 2) {
+                        is_float = ty.is_ident("f64") || ty.is_ident("f32");
+                    }
+                }
+                // `= <float literal>` (annotated or not).
+                let mut k = j + 1;
+                while k < tokens.len()
+                    && !tokens[k].is_punct("=")
+                    && !tokens[k].is_punct(";")
+                    && k < j + 6
+                {
+                    k += 1;
+                }
+                if tokens.get(k).map(|e| e.is_punct("=")).unwrap_or(false) {
+                    let mut v = k + 1;
+                    if tokens.get(v).map(|m| m.is_punct("-")).unwrap_or(false) {
+                        v += 1;
+                    }
+                    if tokens.get(v).map(|l| l.kind == TokKind::Float).unwrap_or(false) {
+                        is_float = true;
+                    }
+                }
+                model.bindings.push(Binding {
+                    name: name_tok.text.clone(),
+                    line: name_tok.line,
+                    mutable,
+                    depth,
+                    is_float,
+                });
+            }
+        }
+        // `use path::to::Thing;` — join the path tokens until `;`, `{`
+        // (grouped imports record the common prefix), or `as`.
+        if t.is_ident("use") {
+            let mut path = String::new();
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let s = &tokens[j];
+                if s.is_punct(";") || s.is_punct("{") || s.is_ident("as") {
+                    break;
+                }
+                path.push_str(&s.text);
+                j += 1;
+            }
+            if !path.is_empty() {
+                model.uses.push(UseImport { path, line: t.line });
+            }
+        }
+        // Loop bodies: first `{` at paren/bracket depth 0 after the keyword.
+        if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+            let mut paren = 0i64;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let s = &tokens[j];
+                if s.is_punct("(") || s.is_punct("[") {
+                    paren += 1;
+                } else if s.is_punct(")") || s.is_punct("]") {
+                    paren -= 1;
+                } else if paren == 0 && (s.is_punct(";") || s.is_punct("}")) {
+                    break; // not a loop head after all (e.g. `for` in a path)
+                } else if paren == 0 && s.is_punct("{") {
+                    if let Some(close) = matching_brace(tokens, j) {
+                        model.loop_bodies.push((j, close));
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    model
+}
+
 #[cfg(test)]
 mod unit_tests {
     use super::*;
@@ -172,5 +400,48 @@ mod unit_tests {
     fn nested_braces_inside_exempt_scope_stay_exempt() {
         let src = "#[cfg(test)]\nmod tests { fn f() { if x { deep(); } } }";
         assert!(ident_exempt(src, "deep"));
+    }
+
+    #[test]
+    fn resolver_finds_fn_items_and_bodies() {
+        let src = "fn alpha(x: usize) -> usize { x + 1 }\n\ntrait T { fn decl(&self); }\n\nfn beta() { let y = alpha(2); }\n";
+        let toks = lex(src).tokens;
+        let model = resolve(&toks);
+        let names: Vec<&str> = model.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "decl", "beta"]);
+        assert!(model.fns[0].body.is_some());
+        assert!(model.fns[1].body.is_none(), "trait declaration has no body");
+        let call = toks.iter().position(|t| t.is_ident("alpha")).unwrap();
+        // First `alpha` is the item itself; the call site is inside beta.
+        let call = toks[call + 1..].iter().position(|t| t.is_ident("alpha")).unwrap() + call + 1;
+        assert_eq!(model.enclosing_fn(call).map(|f| f.name.as_str()), Some("beta"));
+    }
+
+    #[test]
+    fn resolver_tracks_bindings_mutability_and_float_hints() {
+        let src = "fn f() {\n    let mut acc: f64 = 0.0;\n    let n = 3usize;\n    let lr = 0.05;\n    let neg = -1.5;\n}\n";
+        let model = resolve(&lex(src).tokens);
+        let get = |name: &str| model.bindings.iter().find(|b| b.name == name).unwrap();
+        assert!(get("acc").mutable && get("acc").is_float);
+        assert!(!get("n").mutable && !get("n").is_float);
+        assert!(get("lr").is_float, "float-literal initializer hints float");
+        assert!(get("neg").is_float, "negated float literal still hints float");
+        assert_eq!(get("acc").depth, 1);
+        assert!(model.binds_float("lr") && !model.binds_float("n"));
+    }
+
+    #[test]
+    fn resolver_records_use_imports_and_loop_bodies() {
+        let src = "use std::fs::File;\nuse std::sync::{Arc, Mutex};\nfn f() {\n    for i in 0..3 { work(i); }\n    while go() { spin(); }\n    loop { break; }\n}\n";
+        let toks = lex(src).tokens;
+        let model = resolve(&toks);
+        let paths: Vec<&str> = model.uses.iter().map(|u| u.path.as_str()).collect();
+        assert_eq!(paths, ["std::fs::File", "std::sync::"]);
+        assert_eq!(model.loop_bodies.len(), 3);
+        let work = toks.iter().position(|t| t.is_ident("work")).unwrap();
+        let spin = toks.iter().position(|t| t.is_ident("spin")).unwrap();
+        assert!(model.in_loop(work) && model.in_loop(spin));
+        let f_item = toks.iter().position(|t| t.is_ident("f")).unwrap();
+        assert!(!model.in_loop(f_item));
     }
 }

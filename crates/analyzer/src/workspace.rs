@@ -31,6 +31,9 @@ pub struct ScanItem {
     pub path: PathBuf,
     /// Workspace-relative display path (forward slashes).
     pub display: String,
+    /// Name of the owning crate (`faction` for the root crate). Files of
+    /// one crate form the reachability domain for `hot-path-alloc`.
+    pub crate_name: String,
     /// Rule-scope classification.
     pub class: FileClass,
 }
@@ -72,7 +75,12 @@ fn collect_crate(
 ) -> io::Result<()> {
     walk(src, display_prefix, &mut |path, display| {
         let class = classify(crate_name, display);
-        items.push(ScanItem { path: path.to_path_buf(), display: display.to_string(), class });
+        items.push(ScanItem {
+            path: path.to_path_buf(),
+            display: display.to_string(),
+            crate_name: crate_name.to_string(),
+            class,
+        });
     })
 }
 
@@ -107,6 +115,9 @@ pub fn classify(crate_name: &str, display: &str) -> FileClass {
         hot_path: display.ends_with("linalg/src/kernels.rs")
             || display.ends_with("linalg/src/cholesky.rs"),
         telemetry_crate: crate_name == "telemetry",
+        reduction_crate: crate_name == "linalg" || crate_name == "density",
+        engine_crate: crate_name == "engine",
+        worker_pool: display.ends_with("engine/src/pool.rs"),
     }
 }
 
@@ -131,7 +142,20 @@ mod tests {
         let c = classify("engine", "crates/engine/src/pool.rs");
         assert!(c.lib_crate && !c.bench_crate && !c.crate_root && !c.hot_path);
         assert!(!c.telemetry_crate, "only the telemetry crate gets the waiver");
+        assert!(c.engine_crate && c.worker_pool, "pool internals are the sanctioned waiver");
         let c = classify("telemetry", "crates/telemetry/src/clock.rs");
         assert!(c.lib_crate && c.telemetry_crate && !c.crate_root);
+    }
+
+    #[test]
+    fn classify_assigns_v2_scopes() {
+        let c = classify("linalg", "crates/linalg/src/kernels.rs");
+        assert!(c.reduction_crate && !c.engine_crate && !c.worker_pool);
+        let c = classify("density", "crates/density/src/gda.rs");
+        assert!(c.reduction_crate, "density reductions feed the scoring contract");
+        let c = classify("engine", "crates/engine/src/engine.rs");
+        assert!(c.engine_crate && !c.worker_pool, "worker closures outside pool.rs are checked");
+        let c = classify("core", "crates/core/src/loop_runner.rs");
+        assert!(!c.reduction_crate && !c.engine_crate);
     }
 }

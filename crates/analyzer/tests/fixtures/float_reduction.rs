@@ -1,0 +1,44 @@
+//! Fixture: `float-reduction-order` (scanned with `reduction_crate: true`).
+//! The attested and integer-counter functions at the bottom are the
+//! negative cases: they must scan clean.
+
+pub fn unattested_dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum() //~ float-reduction-order
+}
+
+pub fn unattested_fold(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |acc, v| acc + v * v) //~ float-reduction-order
+}
+
+pub fn unattested_accumulation(rows: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    for row in rows {
+        total += row[0] * 2.0; //~ float-reduction-order
+    }
+    total
+}
+
+// analyzer:ordered: fixture: left-to-right sum is this kernel's bit-reference
+pub fn fn_level_attested(a: &[f64]) -> f64 {
+    a.iter().map(|v| v + 1.0).sum()
+}
+
+pub fn site_level_attested(a: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in a {
+        // analyzer:ordered: fixture: ascending-index accumulation
+        acc += v * v;
+    }
+    acc
+}
+
+pub fn integer_counters_are_exempt(a: &[usize]) -> usize {
+    let mut count = 0;
+    let mut stride = 0;
+    for v in a {
+        count += 1;
+        stride += 4;
+        let _ = v;
+    }
+    count + stride
+}

@@ -1,0 +1,33 @@
+//! Fixture: `hot-path-alloc` (scanned with `FileClass::default()`; the hot
+//! set comes from this file's own `analyzer:hot-path` marker, and the
+//! `accumulate` helper is hot by reachability, not by marker).
+
+// analyzer:hot-path
+pub fn score_candidates(xs: &[f64], out: &mut Vec<f64>) {
+    let scratch = vec![0.0; xs.len()]; //~ hot-path-alloc
+    let owned = xs.to_vec(); //~ hot-path-alloc
+    let snapshot = out.clone(); //~ hot-path-alloc
+    accumulate(&scratch, &owned, out);
+    warmed_up(xs, out);
+    drop(snapshot);
+}
+
+fn accumulate(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    let mut tmp = Vec::new(); //~ hot-path-alloc
+    let doubled: Vec<f64> = a.iter().map(|v| v * 2.0).collect(); //~ hot-path-alloc
+    let label = format!("{} rows", b.len()); //~ hot-path-alloc
+    tmp.extend(doubled);
+    out.extend(tmp);
+    drop(label);
+}
+
+fn warmed_up(xs: &[f64], out: &mut Vec<f64>) {
+    // Hot by reachability, but waived: the allow names the invariant.
+    let keep = xs.to_vec(); // analyzer:allow(hot-path-alloc): fixture: one-time warm-up buffer reused across rounds
+    out.extend(keep);
+}
+
+pub fn cold_path_report(a: &[f64]) -> String {
+    // Unreachable from the hot entry: allocation is fine here.
+    format!("{} candidates", a.len())
+}

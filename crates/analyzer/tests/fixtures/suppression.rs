@@ -19,6 +19,6 @@ pub fn allow_with_unknown_rule(v: Option<u32>) -> u32 {
 }
 
 pub fn wrong_rule_does_not_suppress(v: Option<u32>) -> u32 {
-    // analyzer:allow(float-eq): names the wrong rule, so the unwrap still fires
+    // analyzer:allow(float-eq): names the wrong rule, so the unwrap still fires //~ stale-allow
     v.unwrap() //~ unwrap-in-lib
 }

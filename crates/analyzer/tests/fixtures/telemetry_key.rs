@@ -1,0 +1,21 @@
+//! Fixture: `telemetry-key-registry` (scanned via `analyze_source_with`
+//! and a registry holding the exact key `fixture.jobs_done` plus the
+//! wildcard `fixture.pool_*`). Without a registry in the context — the
+//! plain `analyze_source` path — the rule stays off.
+
+pub fn record(h: &Handle) {
+    h.counter_add("fixture.jobs_done", 1);
+    h.counter_add("fixture.jobs_dnoe", 1); //~ telemetry-key-registry
+    h.gauge_set("fixture.pool_depth", 3);
+    h.observe("fixture.unregistered_ns", 9); //~ telemetry-key-registry
+}
+
+pub fn read(s: &Snapshot) -> Option<u64> {
+    // Snapshot accessors are checked too: a typo'd read silently returns
+    // None forever, which is exactly the drift the registry exists to stop.
+    s.counter("fixture.jobs_done")
+}
+
+pub fn read_typo(s: &Snapshot) -> Option<u64> {
+    s.counter("fixture.jobs_doen") //~ telemetry-key-registry
+}

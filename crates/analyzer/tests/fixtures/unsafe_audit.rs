@@ -1,0 +1,33 @@
+//! Fixture: `unsafe-audit` (scanned with `FileClass::default()`; the
+//! `#[cfg(test)]` module at the bottom is this file's scalar cross-check
+//! region, so only the missing-invariant half of the rule fires here).
+
+pub fn unjustified(ptr: *const f64, len: usize) -> f64 {
+    let mut total = 0.0;
+    for i in 0..len {
+        total = unsafe { *ptr.add(i) } + total; //~ unsafe-audit
+    }
+    total
+}
+
+pub fn justified(ptr: *const f64) -> f64 {
+    // analyzer:unsafe(invariant): fixture: caller guarantees ptr is valid, aligned, and initialized
+    unsafe { std::ptr::read(ptr) }
+}
+
+pub fn reasonless_marker(ptr: *const f64) -> f64 {
+    // analyzer:unsafe(invariant):
+    unsafe { std::ptr::read(ptr) } //~ unsafe-audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_cross_check() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(unjustified(xs.as_ptr(), xs.len()), 6.0);
+        assert_eq!(justified(xs.as_ptr()), 1.0);
+    }
+}

@@ -10,7 +10,10 @@
 
 use std::path::Path;
 
-use faction_analyzer::{analyze_source, analyze_workspace, CheckOutcome, FileClass};
+use faction_analyzer::{
+    analyze_source, analyze_source_with, analyze_workspace, CheckContext, CheckOutcome, FileClass,
+    KeyRegistry,
+};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -209,6 +212,129 @@ fn crate_hygiene_ok_fixture() {
         &FileClass { crate_root: true, ..Default::default() },
     );
     assert!(outcome.findings.is_empty(), "both attributes present: {:?}", outcome.findings);
+}
+
+#[test]
+fn hot_path_alloc_fixture() {
+    let outcome = run_fixture("hot_path_alloc.rs", FileClass::default());
+    assert_eq!(outcome.suppressed, 1, "the warm-up buffer waiver suppresses once");
+}
+
+#[test]
+fn hot_path_alloc_needs_a_marker() {
+    // Strip the marker and the whole file goes cold: no hot set, no rule.
+    let source = fixture("hot_path_alloc.rs").replace("// analyzer:hot-path", "");
+    let outcome = analyze_source("hot_path_alloc.rs", &source, &FileClass::default());
+    assert!(
+        outcome.findings.iter().all(|f| f.rule != "hot-path-alloc"),
+        "without a hot-path marker nothing is hot: {:?}",
+        outcome.findings
+    );
+}
+
+#[test]
+fn float_reduction_fixture() {
+    run_fixture("float_reduction.rs", FileClass { reduction_crate: true, ..Default::default() });
+}
+
+#[test]
+fn float_reduction_is_scoped_to_reduction_crates() {
+    let source = fixture("float_reduction.rs");
+    let outcome = analyze_source("float_reduction.rs", &source, &FileClass::default());
+    assert!(
+        outcome.findings.iter().all(|f| f.rule != "float-reduction-order"),
+        "the rule only applies to linalg/density: {:?}",
+        outcome.findings
+    );
+}
+
+#[test]
+fn blocking_in_worker_fixture() {
+    let outcome = run_fixture(
+        "blocking_in_worker.rs",
+        FileClass { engine_crate: true, ..Default::default() },
+    );
+    assert_eq!(outcome.suppressed, 1, "the per-job slot waiver suppresses once");
+}
+
+#[test]
+fn blocking_rule_is_waived_in_pool_internals() {
+    // pool.rs owns the parking/stealing locks: the rule is off there.
+    let source = fixture("blocking_in_worker.rs");
+    let outcome = analyze_source(
+        "blocking_in_worker.rs",
+        &source,
+        &FileClass { engine_crate: true, worker_pool: true, ..Default::default() },
+    );
+    assert!(
+        outcome.findings.iter().all(|f| f.rule != "blocking-in-worker"),
+        "pool internals are sanctioned: {:?}",
+        outcome.findings
+    );
+}
+
+#[test]
+fn unsafe_audit_fixture() {
+    run_fixture("unsafe_audit.rs", FileClass::default());
+}
+
+#[test]
+fn unsafe_without_test_region_reports_the_missing_cross_check() {
+    let source = "pub fn f(p: *const u8) -> u8 {\n    \
+                  // analyzer:unsafe(invariant): p is valid for one read\n    \
+                  unsafe { *p }\n}\n";
+    let outcome = analyze_source("no_tests.rs", source, &FileClass::default());
+    let rendered: Vec<String> = outcome.findings.iter().map(|f| f.render()).collect();
+    assert_eq!(outcome.findings.len(), 1, "justified, but no cross-check: {rendered:?}");
+    assert!(rendered[0].contains("cfg(test)"), "{rendered:?}");
+}
+
+#[test]
+fn stale_allow_fixture() {
+    let outcome = run_fixture("stale_allow.rs", FileClass { lib_crate: true, ..Default::default() });
+    assert_eq!(outcome.suppressed, 1, "the live waiver still suppresses");
+}
+
+#[test]
+fn telemetry_key_fixture() {
+    let source = fixture("telemetry_key.rs");
+    let registry = KeyRegistry::parse("fixture.jobs_done\nfixture.pool_*\n");
+    let ctx = CheckContext { registry: Some(&registry), ..Default::default() };
+    let outcome = analyze_source_with("telemetry_key.rs", &source, &FileClass::default(), &ctx);
+    let expected = expected_findings(&source);
+    assert_eq!(
+        actual_findings(&outcome),
+        expected,
+        "rendered:\n{}",
+        outcome.findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn telemetry_key_rule_is_off_without_a_registry() {
+    let source = fixture("telemetry_key.rs");
+    let outcome = analyze_source("telemetry_key.rs", &source, &FileClass::default());
+    assert!(
+        outcome.findings.iter().all(|f| f.rule != "telemetry-key-registry"),
+        "no registry in context means the rule cannot judge keys: {:?}",
+        outcome.findings
+    );
+}
+
+#[test]
+fn checked_in_registry_parses_and_covers_the_engine_counters() {
+    // The same keys.txt that faction_telemetry embeds via include_str!
+    // (this crate stays dependency-free, so it reads the file directly).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../telemetry/keys.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let registry = KeyRegistry::parse(&text);
+    assert!(!registry.is_empty());
+    for key in ["engine.pool.steals", "engine.pool.chaos_forced_requeues", "core.runner.rounds"] {
+        assert!(registry.matches(key), "`{key}` missing from the embedded registry");
+    }
+    assert!(registry.matches("core.fairness.labeled_y1_s0"), "wildcard family");
+    assert!(!registry.matches("engine.pool.steal"), "near-miss keys must not match");
 }
 
 #[test]

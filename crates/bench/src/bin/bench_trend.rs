@@ -57,6 +57,14 @@ const GATES: &[Gate] = &[
         claim: 1.5,
         larger_is_better: false,
     },
+    // PR 7: steady-state push+evict cost from pool 250 to 4000 (claimed
+    // <=2x — the tombstone front-eviction keeps it flat in pool size).
+    Gate {
+        file: "BENCH_PR7.json",
+        path: "eviction_growth",
+        claim: 2.0,
+        larger_is_better: false,
+    },
 ];
 
 /// Numeric view of a JSON value, if it is one.
@@ -130,6 +138,55 @@ fn print_rounds(report: &Value) {
     }
 }
 
+/// Prints the PR 7 eviction-cost table.
+fn print_evictions(report: &Value) {
+    let Some(Value::Array(rows)) = lookup(report, "evictions") else { return };
+    for row in rows {
+        let Some(fields) = row.as_object() else { continue };
+        let size = find_field(fields, "pool_size").and_then(as_number);
+        let ns = find_field(fields, "push_evict_ns").and_then(as_number);
+        if let (Some(size), Some(ns)) = (size, ns) {
+            println!("    pool {size:>5.0}: push+evict {ns:>10.0} ns");
+        }
+    }
+}
+
+/// Cross-PR analyzer self-scan trend: every report that records
+/// `analyzer_self_scan_ms` contributes a point; the latest must stay
+/// within 10% of the best earlier point. With fewer than two points the
+/// check only prints — a missing history is not a regression.
+fn check_self_scan_trend(reports: &[(String, Value)], regressions: &mut Vec<String>) {
+    let points: Vec<(&str, f64)> = reports
+        .iter()
+        .filter_map(|(name, report)| {
+            lookup(report, "analyzer_self_scan_ms")
+                .and_then(as_number)
+                .map(|ms| (name.as_str(), ms))
+        })
+        .collect();
+    if points.is_empty() {
+        return;
+    }
+    println!("\nanalyzer self-scan trend:");
+    for (name, ms) in &points {
+        println!("  {name:<20} {ms:>8.0} ms");
+    }
+    if points.len() < 2 {
+        return;
+    }
+    let (latest_name, latest) = points[points.len() - 1];
+    let best_earlier = points[..points.len() - 1]
+        .iter()
+        .map(|&(_, ms)| ms)
+        .fold(f64::INFINITY, f64::min);
+    if latest > best_earlier * 1.1 {
+        regressions.push(format!(
+            "{latest_name}: analyzer self-scan {latest:.0} ms is >10% slower than the \
+             best earlier report ({best_earlier:.0} ms)"
+        ));
+    }
+}
+
 fn main() {
     let root = pr4::repo_root();
     let mut names: Vec<String> = std::fs::read_dir(&root)
@@ -159,6 +216,7 @@ fn main() {
         println!("  {name}");
         print_stages(report);
         print_rounds(report);
+        print_evictions(report);
         let mut gates = Vec::new();
         collect_gate_strings(report, &mut gates);
         for gate in gates {
@@ -200,6 +258,8 @@ fn main() {
             ));
         }
     }
+
+    check_self_scan_trend(&reports, &mut regressions);
 
     if regressions.is_empty() {
         println!("\nbench trend: no gated-stage regressions");

@@ -112,6 +112,7 @@ fn main() {
             max_retries: 0,
             checkpoint_dir: None,
             recorder: Handle::noop(),
+            chaos: None,
         });
         let mut best_seconds = f64::INFINITY;
         let mut canonical = String::new();
@@ -170,6 +171,7 @@ fn main() {
         max_retries: 0,
         checkpoint_dir: None,
         recorder: Handle::from(registry.clone()),
+        chaos: None,
     })
     .run_grid(&jobs);
     assert!(instrumented.failures.is_empty(), "instrumented grid must not fail");

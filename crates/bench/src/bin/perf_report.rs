@@ -20,6 +20,11 @@
 //! (the runner's eval/selection/train spans must account for >=90% of its
 //! own wall clock on an instrumented single-job run).
 //!
+//! Since PR 7 the harness also writes `BENCH_PR7.json`: steady-state
+//! sliding-window push+evict cost at three pool sizes (must stay flat —
+//! the tombstone front-eviction claim) plus the wall time of a full
+//! analyzer self-scan, which `bench_trend` tracks across PRs.
+//!
 //! Usage: `cargo run --release --bin perf_report [-- --quick]`
 //! (`--quick` shrinks repetition counts for a smoke run; problem sizes are
 //! unchanged so the speedup figures remain comparable).
@@ -82,6 +87,43 @@ struct Bench6Report {
     incremental_growth: f64,
     /// full(largest) / full(smallest) — gate: ≥ 3 (it is the linear path).
     full_refit_growth: f64,
+    /// Human-readable pass/fail line.
+    gate: String,
+}
+
+/// Per-pool-size steady-state eviction cost (PR 7 section).
+#[derive(Debug, Clone, Serialize)]
+struct EvictionCostRow {
+    /// Sliding-window capacity held steady.
+    pool_size: usize,
+    /// Median ns per push into the full window (one append + one front
+    /// eviction through the tombstone path).
+    push_evict_ns: u64,
+}
+
+/// The report written to `BENCH_PR7.json`: the tombstone front-eviction
+/// must make steady-state push cost flat in pool size (the old path
+/// memmoved the whole buffer, i.e. grew linearly), and the analyzer
+/// self-scan wall time is recorded so `bench_trend` can hold future PRs
+/// to it.
+#[derive(Debug, Serialize)]
+struct Bench7Report {
+    /// Report schema / PR tag.
+    report: String,
+    /// Whether this was a `--quick` smoke run.
+    quick: bool,
+    /// Steady-state push+evict cost at each window size.
+    evictions: Vec<EvictionCostRow>,
+    /// push_evict(largest) / push_evict(smallest) — gate: ≤ 2.0 (the
+    /// pre-tombstone memmove path grew ~16x over this size range).
+    eviction_growth: f64,
+    /// Wall time of one full `analyze_workspace` self-scan, milliseconds
+    /// (median of three runs). Tracked across PRs by `bench_trend`.
+    analyzer_self_scan_ms: u64,
+    /// Files the self-scan covered.
+    analyzer_files_scanned: usize,
+    /// Findings the self-scan produced (must be 0 — check.sh enforces it).
+    analyzer_findings: usize,
     /// Human-readable pass/fail line.
     gate: String,
 }
@@ -396,6 +438,75 @@ fn main() {
         gate: pr6_gate.clone(),
     };
 
+    // --- PR7: steady-state eviction cost + analyzer self-scan ------------
+    // The sliding-window pool holds each target size, so every timed push
+    // is one back append plus one front eviction. With the tombstone head
+    // this is O(d) regardless of pool size; the old path memmoved the full
+    // feature buffer, growing linearly over this range.
+    //
+    // The harness lives two levels below the repo root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits at <root>/crates/bench")
+        .to_path_buf();
+    let pr7_sizes = [250usize, 1000, 4000];
+    let pr7_reps = if quick { 5 } else { 15 };
+    let mut evictions: Vec<EvictionCostRow> = Vec::new();
+    for &size in &pr7_sizes {
+        let mut pool = LabeledPool::with_policy(PoolPolicy::SlidingWindow(size), 61);
+        let mut next = 0usize;
+        while pool.len() < size {
+            let i = next % train_x.rows();
+            pool.push(train_x.row(i).to_vec(), labels2[i], train_s[i]);
+            next += 1;
+        }
+        let timing = time_stage(&format!("pr7_push_evict_{size}"), pr7_reps, 64, || {
+            let i = next % train_x.rows();
+            pool.push(train_x.row(i).to_vec(), labels2[i], train_s[i]);
+            next += 1;
+        });
+        evictions.push(EvictionCostRow { pool_size: size, push_evict_ns: timing.median_ns });
+    }
+    let eviction_growth = evictions[evictions.len() - 1].push_evict_ns as f64
+        / evictions[0].push_evict_ns.max(1) as f64;
+
+    // Analyzer self-scan: median-of-three full-workspace passes, recorded
+    // so bench_trend can flag a creeping slowdown as rules accumulate.
+    let mut scan_ns: Vec<u64> = Vec::new();
+    let mut scan_report = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let rep = faction_analyzer::analyze_workspace(&root).expect("workspace self-scan");
+        scan_ns.push(start.elapsed().as_nanos() as u64);
+        scan_report = Some(rep);
+    }
+    scan_ns.sort_unstable();
+    let scan_report = scan_report.expect("at least one scan ran");
+    let analyzer_self_scan_ms = scan_ns[scan_ns.len() / 2] / 1_000_000;
+    let pr7_gate = if eviction_growth <= 2.0 && scan_report.findings.is_empty() {
+        format!(
+            "pass: push+evict cost grows {eviction_growth:.2}x from pool 250 to 4000 \
+             (gate: <=2.0x) and the analyzer self-scan is clean"
+        )
+    } else {
+        format!(
+            "fail: push+evict cost grows {eviction_growth:.2}x from pool 250 to 4000 \
+             (gate: <=2.0x); analyzer self-scan findings: {}",
+            scan_report.findings.len()
+        )
+    };
+    let bench7 = Bench7Report {
+        report: "BENCH_PR7".into(),
+        quick,
+        evictions,
+        eviction_growth,
+        analyzer_self_scan_ms,
+        analyzer_files_scanned: scan_report.files_scanned,
+        analyzer_findings: scan_report.findings.len(),
+        gate: pr7_gate.clone(),
+    };
+
     // --- Phase coverage: instrumented end-to-end run ---------------------
     // One FACTION job through the engine with a live registry; the runner's
     // top-level phase spans (eval/selection/train — score and acquire nest
@@ -408,6 +519,7 @@ fn main() {
         max_retries: 0,
         checkpoint_dir: None,
         recorder: Handle::from(phase_registry.clone()),
+        chaos: None,
     });
     let cov_cfg = ExperimentConfig {
         budget: 40,
@@ -462,19 +574,16 @@ fn main() {
         matmul_256_speedup,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-
-    // The harness lives two levels below the repo root.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate sits at <root>/crates/bench")
-        .to_path_buf();
     let out = root.join("BENCH_PR1.json");
     std::fs::write(&out, format!("{json}\n")).expect("write BENCH_PR1.json");
 
     let json6 = serde_json::to_string_pretty(&bench6).expect("bench6 serializes");
     let out6 = root.join("BENCH_PR6.json");
     std::fs::write(&out6, format!("{json6}\n")).expect("write BENCH_PR6.json");
+
+    let json7 = serde_json::to_string_pretty(&bench7).expect("bench7 serializes");
+    let out7 = root.join("BENCH_PR7.json");
+    std::fs::write(&out7, format!("{json7}\n")).expect("write BENCH_PR7.json");
 
     // Merge this harness's sections into BENCH_PR4.json, preserving the
     // scheduler section engine_scaling maintains.
@@ -488,6 +597,7 @@ fn main() {
 
     println!("wrote {}", out.display());
     println!("wrote {}", out6.display());
+    println!("wrote {}", out7.display());
     println!("wrote {}", pr4_out.display());
     for t in &report.stages {
         println!("{:<32} median {:>12} ns", t.name, t.median_ns);
@@ -498,9 +608,20 @@ fn main() {
             r.pool_size, r.full_refit_round_ns, r.incremental_round_ns
         );
     }
+    for r in &bench7.evictions {
+        println!(
+            "pr7_push_evict pool={:<5} {:>8} ns/push",
+            r.pool_size, r.push_evict_ns
+        );
+    }
+    println!(
+        "pr7_analyzer_self_scan {} ms over {} files ({} findings)",
+        bench7.analyzer_self_scan_ms, bench7.analyzer_files_scanned, bench7.analyzer_findings
+    );
     println!("gda_batch_speedup   {gda_batch_speedup:.2}x");
     println!("matmul_256_speedup  {matmul_256_speedup:.2}x");
     println!("{overhead_gate}");
     println!("{coverage_gate}");
     println!("{pr6_gate}");
+    println!("{pr7_gate}");
 }

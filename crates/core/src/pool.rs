@@ -168,25 +168,86 @@ fn splitmix64(mut z: u64) -> u64 {
 /// Each sample carries a stable `uid`, and every membership change is
 /// appended to a bounded delta log so incremental consumers (the streaming
 /// GDA refit) can mirror the pool without rescanning it.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Like [`Matrix`], the side vectors carry a *tombstone offset* (`front`):
+/// front eviction bumps the offset instead of memmoving every survivor,
+/// and the dead prefix is reclaimed in bulk once it outnumbers the live
+/// entries, so steady-state sliding-window pushes cost O(d) regardless of
+/// pool size. Accessors and serialization expose only the logical view.
+#[derive(Debug, Clone, Default)]
 pub struct LabeledPool {
     features: Matrix,
     labels: Vec<usize>,
     sensitives: Vec<i8>,
-    #[serde(default)]
     uids: Vec<u64>,
-    #[serde(default)]
+    /// Evicted-but-unreclaimed entries ahead of the side vectors' logical
+    /// front. `features` keeps its own equivalent offset internally.
+    front: usize,
     next_uid: u64,
-    #[serde(default)]
     policy: PoolPolicy,
-    #[serde(default)]
     eviction_seed: u64,
-    #[serde(default)]
     seen: u64,
-    #[serde(default)]
     log: Vec<PoolDelta>,
-    #[serde(default)]
     log_base: u64,
+}
+
+// Serialization emits the logical view under the same field names the
+// pre-tombstone derive produced, so checkpoint bytes are independent of
+// eviction history and older checkpoints load unchanged (`front` is never
+// written; absent fields fall back to their defaults, as the derive's
+// `#[serde(default)]` attributes did).
+impl serde::Serialize for LabeledPool {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("features".to_string(), serde::Serialize::to_value(&self.features)),
+            ("labels".to_string(), serde::Serialize::to_value(self.labels())),
+            ("sensitives".to_string(), serde::Serialize::to_value(self.sensitives())),
+            ("uids".to_string(), serde::Serialize::to_value(self.uids())),
+            ("next_uid".to_string(), serde::Serialize::to_value(&self.next_uid)),
+            ("policy".to_string(), serde::Serialize::to_value(&self.policy)),
+            ("eviction_seed".to_string(), serde::Serialize::to_value(&self.eviction_seed)),
+            ("seen".to_string(), serde::Serialize::to_value(&self.seen)),
+            ("log".to_string(), serde::Serialize::to_value(&self.log)),
+            ("log_base".to_string(), serde::Serialize::to_value(&self.log_base)),
+        ])
+    }
+}
+
+impl serde::Deserialize for LabeledPool {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields =
+            v.as_object().ok_or_else(|| serde::DeError::custom("expected LabeledPool object"))?;
+        fn req<T: serde::Deserialize>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            let v = serde::find_field(fields, name)
+                .ok_or_else(|| serde::DeError::custom(format!("LabeledPool missing `{name}`")))?;
+            serde::Deserialize::from_value(v)
+        }
+        fn opt<T: serde::Deserialize + Default>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            match serde::find_field(fields, name) {
+                Some(v) => serde::Deserialize::from_value(v),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(LabeledPool {
+            features: req(fields, "features")?,
+            labels: req(fields, "labels")?,
+            sensitives: req(fields, "sensitives")?,
+            uids: opt(fields, "uids")?,
+            front: 0,
+            next_uid: opt(fields, "next_uid")?,
+            policy: opt(fields, "policy")?,
+            eviction_seed: opt(fields, "eviction_seed")?,
+            seen: opt(fields, "seen")?,
+            log: opt(fields, "log")?,
+            log_base: opt(fields, "log_base")?,
+        })
+    }
 }
 
 impl LabeledPool {
@@ -217,12 +278,12 @@ impl LabeledPool {
 
     /// Number of labeled samples currently retained.
     pub fn len(&self) -> usize {
-        self.labels.len()
+        self.labels.len() - self.front
     }
 
     /// True when no samples are currently retained.
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.len() == 0
     }
 
     /// Adds one labeled sample, applying the retention policy. Under a
@@ -241,18 +302,17 @@ impl LabeledPool {
             PoolPolicy::Unbounded => self.append(&x, label, sensitive, uid),
             PoolPolicy::SlidingWindow(cap) => {
                 self.append(&x, label, sensitive, uid);
-                while self.labels.len() > cap {
+                while self.len() > cap {
                     self.evict_front();
                 }
             }
             PoolPolicy::Reservoir(cap, _) => {
-                if self.labels.len() < cap {
+                if self.len() < cap {
                     self.append(&x, label, sensitive, uid);
                 } else {
                     // Algorithm R with a stateless draw: item `seen` replaces
                     // a uniform slot with probability cap/seen.
                     let j = splitmix64(self.eviction_seed ^ self.seen) % self.seen;
-                    // analyzer:allow(lossy-cast): j < cap ≤ usize::MAX here
                     if (j as usize) < cap {
                         self.replace_at(j as usize, &x, label, sensitive, uid);
                     }
@@ -275,16 +335,25 @@ impl LabeledPool {
     fn evict_front(&mut self) {
         // analyzer:allow(unwrap-in-lib): front row exists (len checked by caller)
         self.features.remove_row(0).expect("pool has a front row");
-        self.labels.remove(0);
-        self.sensitives.remove(0);
-        let uid = self.uids.remove(0);
+        let uid = self.uids[self.front];
+        self.front += 1;
+        if self.front * 2 >= self.labels.len() {
+            // Dead ≥ live: reclaim the tombstoned prefix in one shot, so the
+            // amortized side-vector cost per eviction stays O(1).
+            self.labels.drain(..self.front);
+            self.sensitives.drain(..self.front);
+            self.uids.drain(..self.front);
+            self.front = 0;
+        }
         self.log_delta(PoolDelta { uid, evicted: true });
         faction_telemetry::counter_add("core.pool.evictions", 1);
     }
 
     fn replace_at(&mut self, at: usize, x: &[f64], label: usize, sensitive: i8, uid: u64) {
+        let at = self.front + at;
         let old = self.uids[at];
-        self.features.row_mut(at).copy_from_slice(x);
+        // `features` tracks its own tombstone, so its row index stays logical.
+        self.features.row_mut(at - self.front).copy_from_slice(x);
         self.labels[at] = label;
         self.sensitives[at] = sensitive;
         self.uids[at] = uid;
@@ -320,19 +389,18 @@ impl LabeledPool {
         if cursor < self.log_base || cursor > self.delta_head() {
             return None;
         }
-        // analyzer:allow(lossy-cast): offset ≤ log.len() ≤ MAX_LOG
         Some(&self.log[(cursor - self.log_base) as usize..])
     }
 
     /// Stable identities of the retained samples, aligned with
     /// [`LabeledPool::labels`] / row order of [`LabeledPool::features`].
     pub fn uids(&self) -> &[u64] {
-        &self.uids
+        &self.uids[self.front..]
     }
 
     /// Current row index of the sample with the given uid, if retained.
     pub fn index_of_uid(&self, uid: u64) -> Option<usize> {
-        self.uids.iter().position(|&u| u == uid)
+        self.uids().iter().position(|&u| u == uid)
     }
 
     /// The pooled features as an `(n, d)` matrix. The matrix is maintained
@@ -345,22 +413,22 @@ impl LabeledPool {
 
     /// Labels of the pooled samples.
     pub fn labels(&self) -> &[usize] {
-        &self.labels
+        &self.labels[self.front..]
     }
 
     /// Sensitive attributes of the pooled samples.
     pub fn sensitives(&self) -> &[i8] {
-        &self.sensitives
+        &self.sensitives[self.front..]
     }
 
     /// Count of samples in the sensitive group `s`.
     pub fn group_count(&self, s: i8) -> usize {
-        self.sensitives.iter().filter(|&&v| v == s).count()
+        self.sensitives().iter().filter(|&&v| v == s).count()
     }
 
     /// Count of samples with label `y`.
     pub fn label_count(&self, y: usize) -> usize {
-        self.labels.iter().filter(|&&v| v == y).count()
+        self.labels().iter().filter(|&&v| v == y).count()
     }
 }
 
@@ -564,6 +632,51 @@ mod tests {
         for i in 40..120 {
             a.push(vec![i as f64, 0.0], 0, 1);
             b.push(vec![i as f64, 0.0], 0, 1);
+        }
+        assert_eq!(a.uids(), b.uids());
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn tombstoned_side_vectors_expose_only_the_logical_view() {
+        use serde::{Deserialize, Serialize};
+        // Drive a window pool deep into eviction so the side-vector
+        // tombstone is live mid-cycle, then compare every observable —
+        // accessors, counts, uid lookup, and serialized bytes — against a
+        // pool built fresh in the same logical state.
+        let mut evicted = LabeledPool::with_policy(PoolPolicy::SlidingWindow(5), 9);
+        for i in 0..23 {
+            evicted.push(vec![i as f64, 1.0], i % 3, if i % 2 == 0 { 1 } else { -1 });
+        }
+        assert!(evicted.front > 0, "test must exercise a live tombstone");
+        assert_eq!(evicted.len(), 5);
+        assert_eq!(evicted.labels().len(), 5);
+        assert_eq!(evicted.uids(), &[18, 19, 20, 21, 22]);
+        assert_eq!(evicted.index_of_uid(20), Some(2));
+        assert_eq!(evicted.group_count(1) + evicted.group_count(-1), 5);
+        assert_eq!(
+            evicted.label_count(0) + evicted.label_count(1) + evicted.label_count(2),
+            5
+        );
+        // Serialization must not leak the dead prefix: byte-compare against
+        // a fresh pool holding the same five rows with the same uids/log.
+        let restored = LabeledPool::from_value(&evicted.to_value()).unwrap();
+        assert_eq!(restored.front, 0, "deserialize compacts");
+        assert_eq!(restored.labels(), evicted.labels());
+        assert_eq!(restored.sensitives(), evicted.sensitives());
+        assert_eq!(restored.uids(), evicted.uids());
+        assert_eq!(restored.features().as_slice(), evicted.features().as_slice());
+        assert_eq!(
+            serde_json::to_string(&restored.to_value()),
+            serde_json::to_string(&evicted.to_value()),
+            "checkpoint bytes must be independent of eviction history"
+        );
+        // And the timelines stay fused after the round trip.
+        let mut a = evicted.clone();
+        let mut b = restored;
+        for i in 23..60 {
+            a.push(vec![i as f64, 2.0], 0, 1);
+            b.push(vec![i as f64, 2.0], 0, 1);
         }
         assert_eq!(a.uids(), b.uids());
         assert_eq!(a.features().as_slice(), b.features().as_slice());

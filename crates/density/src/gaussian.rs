@@ -104,6 +104,7 @@ impl Gaussian {
     /// # Errors
     /// Returns [`DensityError::DimensionMismatch`] if `features` is not
     /// `N × dim()` or `out` is not length `N`.
+    // analyzer:hot-path
     pub fn log_pdf_batch_into(
         &self,
         features: &Matrix,

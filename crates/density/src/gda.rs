@@ -463,6 +463,7 @@ impl FairDensityEstimator {
     /// # Errors
     /// Returns [`DensityError::DimensionMismatch`] if the feature width or
     /// `out` length disagree with the inputs.
+    // analyzer:hot-path
     pub fn log_density_batch_into(
         &self,
         features: &Matrix,
@@ -501,6 +502,7 @@ impl FairDensityEstimator {
     /// # Errors
     /// Returns [`DensityError::DimensionMismatch`] on any shape
     /// disagreement.
+    // analyzer:hot-path
     pub fn score_batch_into(
         &self,
         features: &Matrix,

@@ -276,6 +276,7 @@ impl IncrementalGda {
                     .collect();
                 cell.lambda.rank1_update(&v)?;
                 for (i, (mu, &zi)) in cell.mean.iter_mut().zip(z).enumerate() {
+                    // analyzer:ordered: Welford-style mean update in arrival order (refit contract)
                     *mu += (zi - *mu) / (m + 1.0);
                     v[i] = 0.0;
                 }

@@ -27,7 +27,7 @@ use faction_telemetry::Handle;
 
 use crate::job::ExperimentJob;
 use crate::journal::{Journal, JournalSummary};
-use crate::pool::{lock, resolve_workers, run_indexed, PoolStats};
+use crate::pool::{lock, resolve_workers, run_indexed_chaos, ChaosSchedule, PoolStats};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +45,11 @@ pub struct EngineConfig {
     /// the per-phase histograms recorded inside job bodies (the engine
     /// installs this handle as the ambient scope around each job).
     pub recorder: Handle,
+    /// Deterministic schedule-chaos mode for the determinism sanitizer:
+    /// when set, the pool perturbs steal order, victim choice, park timing,
+    /// and injects bounded forced requeues, all seeded. Results must stay
+    /// byte-identical — see [`ChaosSchedule`].
+    pub chaos: Option<ChaosSchedule>,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +59,7 @@ impl Default for EngineConfig {
             max_retries: 1,
             checkpoint_dir: None,
             recorder: Handle::noop(),
+            chaos: None,
         }
     }
 }
@@ -178,7 +184,7 @@ impl Engine {
         let attempts: Vec<AtomicU32> = jobs.iter().map(|_| AtomicU32::new(0)).collect();
         let recorder = &self.config.recorder;
 
-        let stats = run_indexed(self.config.workers, jobs.len(), recorder, |ctx, idx| {
+        let stats = run_indexed_chaos(self.config.workers, jobs.len(), recorder, self.config.chaos, |ctx, idx| {
             // Install the engine's recorder as the ambient telemetry scope
             // for the job body: leaf code (runner phases, GDA scoring, NN
             // training) records through the free functions without any
@@ -196,6 +202,7 @@ impl Engine {
             recorder.observe("engine.pool.job_run_ns", seconds_to_ns(seconds));
             match outcome {
                 Ok(Ok(result)) => {
+                    // analyzer:allow(blocking-in-worker): per-job slot mutex; each index is written once, so contention is zero
                     *lock(&results[idx]) = Some(result);
                     recorder.counter_add("engine.pool.jobs_completed", 1);
                     journal.record(&key, "finished", attempt, ctx.worker, seconds, "");
@@ -204,6 +211,7 @@ impl Engine {
                     // Structured errors are deterministic: fail immediately.
                     recorder.counter_add("engine.pool.jobs_failed", 1);
                     journal.record(&key, "failed", attempt, ctx.worker, seconds, &message);
+                    // analyzer:allow(blocking-in-worker): failure list is cold (held for one push on the error path)
                     lock(&failures).push(JobFailure { index: idx, key, attempts: attempt, message });
                 }
                 Err(payload) => {
@@ -215,6 +223,7 @@ impl Engine {
                     } else {
                         recorder.counter_add("engine.pool.jobs_failed", 1);
                         journal.record(&key, "failed", attempt, ctx.worker, seconds, &message);
+                        // analyzer:allow(blocking-in-worker): failure list is cold (held for one push on the error path)
                         lock(&failures)
                             .push(JobFailure { index: idx, key, attempts: attempt, message });
                     }

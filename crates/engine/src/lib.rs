@@ -60,4 +60,4 @@ pub mod pool;
 pub use engine::{BatchOutcome, Engine, EngineConfig, GridOutcome, JobFailure};
 pub use job::{build_strategy, grid, ArchPreset, ExperimentJob, STRATEGY_NAMES};
 pub use journal::{JobEvent, Journal, JournalSummary};
-pub use pool::{resolve_workers, scoped_for_each, PoolStats};
+pub use pool::{resolve_workers, scoped_for_each, scoped_for_each_chaos, ChaosSchedule, PoolStats};

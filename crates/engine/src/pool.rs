@@ -28,9 +28,62 @@
 //! schedule, worker id, or completion order.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use faction_telemetry::Handle;
+
+/// Deterministic schedule-chaos mode (the dynamic tier of the determinism
+/// sanitizer, DESIGN.md §12): a seed for reproducible perturbation of every
+/// scheduling decision the pool makes.
+///
+/// Under chaos the pool deterministically varies the *schedule* — work-source
+/// search order, steal victims and which end of their deque is robbed, park
+/// timing, and bounded forced requeues that make jobs migrate workers — while
+/// leaving the execution contract untouched: every job still runs to
+/// retirement exactly once (forced requeues re-run the body, like panic
+/// retries, and are bounded per job). Because the determinism contract says
+/// results are a pure function of the job value, **any** schedule must
+/// produce byte-identical canonical output; chaos exists to hunt schedules
+/// that falsify that claim, and the seed makes a found counterexample
+/// replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSchedule(pub u64);
+
+/// Forced requeues per job index under chaos. Bounded so a batch always
+/// drains: after the bound each pop proceeds to execution.
+const CHAOS_MAX_FORCED_REQUEUES: u32 = 2;
+
+/// SplitMix64 finalizer — the same stateless mixer the labeled pool uses for
+/// reservoir draws; every chaos decision is a pure function of
+/// `(seed, worker, decision counter)`, never of wall clock or schedule.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-batch chaos state shared by the workers.
+struct ChaosState {
+    seed: u64,
+    /// Forced-requeue count per job index.
+    forced: Vec<AtomicU32>,
+}
+
+/// One worker's deterministic chaos decision stream.
+struct ChaosRng<'a> {
+    state: &'a ChaosState,
+    worker: u64,
+    draws: u64,
+}
+
+impl ChaosRng<'_> {
+    fn next(&mut self) -> u64 {
+        self.draws += 1;
+        splitmix64(self.state.seed ^ (self.worker << 40) ^ self.draws)
+    }
+}
 
 /// Locks a mutex, tolerating poisoning: a panicking job is isolated by
 /// `catch_unwind` in the executor, but if a panic ever does fly through a
@@ -135,7 +188,22 @@ impl Scheduler {
     /// Finds the next job for `worker`: own deque front, then injector
     /// front, then steal from siblings' backs (scanning from the next
     /// worker id so thieves spread out).
-    fn find_work(&self, worker: usize) -> Option<usize> {
+    ///
+    /// Under chaos the search order, the steal scan's starting victim, and
+    /// the robbed end of a victim's deque are all drawn from the worker's
+    /// chaos stream — every combination is a schedule the no-chaos pool
+    /// could reach under some timing, just forced instead of accidental.
+    fn find_work(&self, worker: usize, chaos: &mut Option<ChaosRng<'_>>) -> Option<usize> {
+        let draw = chaos.as_mut().map(|c| c.next());
+        if let Some(d) = draw {
+            // Half the time, drain the injector before the own deque.
+            if d & 1 == 1 {
+                if let Some(idx) = lock(&self.injector).pop_front() {
+                    self.note_popped();
+                    return Some(idx);
+                }
+            }
+        }
         if let Some(idx) = lock(&self.deques[worker]).pop_front() {
             self.note_popped();
             return Some(idx);
@@ -145,9 +213,21 @@ impl Scheduler {
             return Some(idx);
         }
         let n = self.deques.len();
-        for off in 1..n {
-            let victim = (worker + off) % n;
-            if let Some(idx) = lock(&self.deques[victim]).pop_back() {
+        // Chaos rotates the steal scan's starting offset and robs the
+        // victim's *front* half the time (the job the owner would run next —
+        // maximally adversarial to accidental order dependence).
+        let (start, steal_front) = match draw {
+            Some(d) if n > 1 => ((d >> 1) as usize % (n - 1), d & 2 == 2),
+            _ => (0, false),
+        };
+        for scan in 0..n.saturating_sub(1) {
+            let victim = (worker + 1 + (start + scan) % (n - 1)) % n;
+            let stolen = if steal_front {
+                lock(&self.deques[victim]).pop_front()
+            } else {
+                lock(&self.deques[victim]).pop_back()
+            };
+            if let Some(idx) = stolen {
                 self.note_popped();
                 self.recorder.counter_add("engine.pool.steals", 1);
                 return Some(idx);
@@ -158,7 +238,11 @@ impl Scheduler {
 
     /// Parks until work might exist or the batch is drained. Returns
     /// `false` when the batch is fully retired and the worker should exit.
-    fn park_or_exit(&self) -> bool {
+    ///
+    /// Under chaos the park timeout is drawn from the worker's chaos stream
+    /// (1–16 ms instead of a fixed 50 ms), so wake order and re-scan timing
+    /// vary deterministically between seeds.
+    fn park_or_exit(&self, chaos: &mut Option<ChaosRng<'_>>) -> bool {
         let mut p = lock(&self.park);
         loop {
             if p.outstanding == 0 {
@@ -170,9 +254,13 @@ impl Scheduler {
             // Count the wait *before* taking it: the park lock is held, so
             // the counter must be an independent sink, never this lock.
             self.recorder.counter_add("engine.pool.park_waits", 1);
+            let millis = match chaos.as_mut() {
+                Some(c) => 1 + c.next() % 16,
+                None => 50,
+            };
             let (guard, _timeout) = self
                 .cv
-                .wait_timeout(p, std::time::Duration::from_millis(50))
+                .wait_timeout(p, std::time::Duration::from_millis(millis))
                 .unwrap_or_else(PoisonError::into_inner);
             p = guard;
         }
@@ -215,31 +303,72 @@ pub(crate) fn run_indexed<F>(workers: usize, count: usize, recorder: &Handle, bo
 where
     F: Fn(&WorkerCtx<'_>, usize) + Sync,
 {
+    run_indexed_chaos(workers, count, recorder, None, body)
+}
+
+/// [`run_indexed`] with an optional [`ChaosSchedule`]: the execution
+/// contract (every index retires exactly once, results are slot-addressed)
+/// is identical; only the schedule is perturbed.
+pub(crate) fn run_indexed_chaos<F>(
+    workers: usize,
+    count: usize,
+    recorder: &Handle,
+    chaos: Option<ChaosSchedule>,
+    body: F,
+) -> PoolStats
+where
+    F: Fn(&WorkerCtx<'_>, usize) + Sync,
+{
     let workers = workers.max(1);
     if count == 0 {
         return PoolStats { workers, queue_high_water: 0 };
     }
     let scheduler = Scheduler::new(workers, count, recorder.clone());
+    let chaos_state = chaos.map(|ChaosSchedule(seed)| ChaosState {
+        seed: splitmix64(seed ^ 0xC4A0_55C4_EDB1_E001),
+        forced: (0..count).map(|_| AtomicU32::new(0)).collect(),
+    });
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let scheduler = &scheduler;
             let body = &body;
-            scope.spawn(move || loop {
-                match scheduler.find_work(worker) {
-                    Some(idx) => {
-                        let ctx = WorkerCtx {
-                            scheduler,
-                            worker,
-                            requeued: std::cell::Cell::new(false),
-                        };
-                        body(&ctx, idx);
-                        if !ctx.requeued.get() {
-                            scheduler.retire();
+            let chaos_state = chaos_state.as_ref();
+            scope.spawn(move || {
+                let mut rng = chaos_state
+                    .map(|state| ChaosRng { state, worker: worker as u64, draws: 0 });
+                loop {
+                    match scheduler.find_work(worker, &mut rng) {
+                        Some(idx) => {
+                            // Forced requeue: before executing, chaos may
+                            // bounce the job back through the injector so a
+                            // different worker (and queue interleaving) runs
+                            // it. Bounded per index so the batch drains.
+                            if let (Some(rng), Some(state)) = (rng.as_mut(), chaos_state) {
+                                if rng.next() & 3 == 0
+                                    && state.forced[idx].fetch_add(1, Ordering::SeqCst)
+                                        < CHAOS_MAX_FORCED_REQUEUES
+                                {
+                                    scheduler
+                                        .recorder
+                                        .counter_add("engine.pool.chaos_forced_requeues", 1);
+                                    scheduler.requeue(idx);
+                                    continue;
+                                }
+                            }
+                            let ctx = WorkerCtx {
+                                scheduler,
+                                worker,
+                                requeued: std::cell::Cell::new(false),
+                            };
+                            body(&ctx, idx);
+                            if !ctx.requeued.get() {
+                                scheduler.retire();
+                            }
                         }
-                    }
-                    None => {
-                        if !scheduler.park_or_exit() {
-                            break;
+                        None => {
+                            if !scheduler.park_or_exit(&mut rng) {
+                                break;
+                            }
                         }
                     }
                 }
@@ -264,6 +393,25 @@ where
     F: Fn(usize, &T) + Sync,
 {
     run_indexed(workers, items.len(), &Handle::noop(), |_, idx| f(idx, &items[idx]))
+}
+
+/// [`scoped_for_each`] under a [`ChaosSchedule`] — the sanitizer harness's
+/// way to subject any indexed batch to deterministic schedule perturbation.
+/// Forced requeues re-offer an index to the pool *before* `f` starts, never
+/// after, so `f` still executes exactly once per item.
+pub fn scoped_for_each_chaos<T, F>(
+    workers: usize,
+    items: &[T],
+    chaos: ChaosSchedule,
+    f: F,
+) -> PoolStats
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    run_indexed_chaos(workers, items.len(), &Handle::noop(), Some(chaos), |_, idx| {
+        f(idx, &items[idx])
+    })
 }
 
 #[cfg(test)]
@@ -316,6 +464,70 @@ mod tests {
         assert!(resolve_workers(None) >= 1);
         assert!(resolve_workers(Some(0)) >= 1);
         assert_eq!(resolve_workers(Some(5)), 5);
+    }
+
+    #[test]
+    fn chaos_runs_every_item_exactly_once() {
+        // The chaos contract: scheduling is perturbed, execution is not —
+        // every index runs exactly once for any seed and worker count.
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            for workers in [1, 2, 4] {
+                let hits: Vec<AtomicUsize> = (0..61).map(|_| AtomicUsize::new(0)).collect();
+                scoped_for_each_chaos(workers, &hits, ChaosSchedule(seed), |_, slot| {
+                    slot.fetch_add(1, Ordering::SeqCst);
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::SeqCst),
+                        1,
+                        "item {i}, seed {seed}, {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_slot_table_results_match_baseline() {
+        let items: Vec<u64> = (0..40).collect();
+        let collect = |chaos: Option<ChaosSchedule>, workers: usize| -> Vec<u64> {
+            let slots: Vec<Mutex<u64>> = items.iter().map(|_| Mutex::new(0)).collect();
+            match chaos {
+                Some(c) => scoped_for_each_chaos(workers, &items, c, |idx, &v| {
+                    *lock(&slots[idx]) = v.wrapping_mul(v) ^ 7;
+                }),
+                None => scoped_for_each(workers, &items, |idx, &v| {
+                    *lock(&slots[idx]) = v.wrapping_mul(v) ^ 7;
+                }),
+            };
+            slots.iter().map(|s| *lock(s)).collect()
+        };
+        let baseline = collect(None, 1);
+        for seed in [3u64, 9, 27] {
+            assert_eq!(collect(Some(ChaosSchedule(seed)), 4), baseline, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_forced_requeues_are_bounded_and_recorded() {
+        // With one worker and many items, forced requeues must neither
+        // livelock nor lose work; the counter proves chaos actually bit.
+        let registry = std::sync::Arc::new(faction_telemetry::Registry::new());
+        let handle = Handle::from(registry.clone());
+        let ran = AtomicUsize::new(0);
+        run_indexed_chaos(1, 200, &handle, Some(ChaosSchedule(11)), |_, _| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 200);
+        let forced = registry
+            .snapshot()
+            .counter("engine.pool.chaos_forced_requeues")
+            .unwrap_or(0);
+        assert!(forced > 0, "a 200-job batch under chaos must force some requeues");
+        assert!(
+            forced <= 200 * CHAOS_MAX_FORCED_REQUEUES as u64,
+            "forced requeues must respect the per-job bound (got {forced})"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn stress_batch_journal_counters_and_results_agree() {
         max_retries: MAX_RETRIES,
         checkpoint_dir: None,
         recorder: Handle::from(registry.clone()),
+        chaos: None,
     });
     let attempts: Vec<AtomicU32> = (0..JOBS).map(|_| AtomicU32::new(0)).collect();
     let jobs: Vec<usize> = (0..JOBS).collect();

@@ -170,11 +170,12 @@ impl Cholesky {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != dim()` or `y`
     /// has a different shape than `b`.
+    // analyzer:hot-path
     pub fn solve_lower_batch_into(&self, b: &Matrix, y: &mut Matrix) -> Result<()> {
         let n = self.dim();
         if b.rows() != n || y.shape() != b.shape() {
             return Err(LinalgError::ShapeMismatch {
-                left: format!("{n}x{n} vs b {}x{}", b.rows(), b.cols()),
+                left: format!("{n}x{n} vs b {}x{}", b.rows(), b.cols()), // analyzer:allow(hot-path-alloc): cold shape-mismatch exit, never taken on the scoring path
                 right: format!("y {}x{}", y.rows(), y.cols()),
                 op: "solve_lower_batch_into",
             });
@@ -209,6 +210,8 @@ impl Cholesky {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] on any shape disagreement.
+    // analyzer:hot-path
+    // analyzer:ordered: ascending-row squared-sum matches the scalar dot's order
     pub fn quadratic_forms_batch_into(
         &self,
         b: &Matrix,
@@ -217,7 +220,7 @@ impl Cholesky {
     ) -> Result<()> {
         if out.len() != b.cols() {
             return Err(LinalgError::ShapeMismatch {
-                left: format!("b {}x{}", b.rows(), b.cols()),
+                left: format!("b {}x{}", b.rows(), b.cols()), // analyzer:allow(hot-path-alloc): cold shape-mismatch exit, never taken on the scoring path
                 right: format!("out len {}", out.len()),
                 op: "quadratic_forms_batch_into",
             });
@@ -243,6 +246,7 @@ impl Cholesky {
 
     /// `log |A| = 2 Σᵢ log Lᵢᵢ`.
     pub fn log_det(&self) -> f64 {
+        // analyzer:ordered: ascending-diagonal log sum
         (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 

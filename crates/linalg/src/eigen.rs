@@ -51,6 +51,7 @@ pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: u32) -> Result<Symmetri
         let mut s = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
+                // analyzer:ordered: upper-triangle row-major sweep fixes the convergence test
                 s += 2.0 * m.get(i, j) * m.get(i, j);
             }
         }

@@ -44,6 +44,8 @@ const SMALL_VOLUME: usize = 16 * 16 * 16;
 /// caller. Branch-free dense inner loop (no sparsity short-circuit).
 ///
 /// `a` is `m×k`, `b` is `k×n`, `out` is `m×n`, all row-major.
+// analyzer:hot-path
+// analyzer:ordered: ascending-k accumulation is the sequential bit-reference
 pub fn matmul_simple(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
@@ -64,6 +66,7 @@ pub fn matmul_simple(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, 
 ///
 /// Dispatches small problems to [`matmul_simple`]; the result is
 /// bit-identical either way (see module docs).
+// analyzer:hot-path
 pub fn matmul_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
@@ -110,6 +113,7 @@ pub fn matmul_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n:
 /// scalar loop's ascending-k order.
 #[inline]
 #[allow(clippy::too_many_arguments)] // micro-kernel: raw slices + tile coordinates
+// analyzer:ordered: ascending-k accumulation into the register block matches matmul_simple
 fn kernel_full(
     apack: &[f64],
     klen: usize,
@@ -144,6 +148,7 @@ fn kernel_full(
 /// the same ascending-k order as the full kernel.
 #[inline]
 #[allow(clippy::too_many_arguments)]
+// analyzer:ordered: ascending-k accumulation on the edge tiles matches matmul_simple
 fn kernel_edge(
     apack: &[f64],
     klen: usize,
@@ -174,6 +179,8 @@ fn kernel_edge(
 /// backprop `grad_w = xᵀ · δ` shape; the k-outer axpy sweep reads both
 /// operands row-contiguously and keeps per-element ascending-k order, so it
 /// is bit-identical to `a.transpose().matmul(b)`.
+// analyzer:hot-path
+// analyzer:ordered: k-outer axpy keeps per-element ascending-k order (bit-identical to transpose+matmul)
 pub fn matmul_tn_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
     assert_eq!(a.len(), k * m);
     assert_eq!(b.len(), k * n);
@@ -195,6 +202,7 @@ pub fn matmul_tn_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize,
 /// `a` is `m×k`, `b` is `n×k`, `out` is `m×n` (overwritten). This is the
 /// backprop `dx = δ · wᵀ` shape; each output element is a contiguous
 /// row·row dot, bit-identical to `a.matmul(&b.transpose())`.
+// analyzer:hot-path
 pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), n * k);
@@ -213,6 +221,7 @@ pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize,
 /// Walks `TB×TB` tiles so both the strided reads and the strided writes stay
 /// within a tile that fits in L1, instead of streaming the whole output
 /// column-by-column.
+// analyzer:hot-path
 pub fn transpose_into(a: &[f64], out: &mut [f64], m: usize, n: usize) {
     assert_eq!(a.len(), m * n);
     assert_eq!(out.len(), m * n);

@@ -40,6 +40,7 @@ pub fn mean_vector(rows: &[&[f64]]) -> Result<Vec<f64>> {
 /// Returns [`LinalgError::EmptyInput`] for an empty set,
 /// [`LinalgError::ShapeMismatch`] for ragged rows, and
 /// [`LinalgError::InvalidArgument`] for a negative ridge.
+// analyzer:ordered: row-major rank-1 accumulation over samples in stream order
 pub fn covariance(rows: &[&[f64]], ridge: f64) -> Result<Matrix> {
     if ridge < 0.0 {
         return Err(LinalgError::InvalidArgument {
@@ -92,6 +93,7 @@ pub fn mean_and_covariance(rows: &[&[f64]], ridge: f64) -> Result<(Vec<f64>, Mat
 ///
 /// Returns `None` when either sample is constant (undefined correlation) or
 /// shorter than two elements.
+// analyzer:ordered: single left-to-right pass accumulates cov/va/vb together
 pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
     if a.len() != b.len() || a.len() < 2 {
         return None;

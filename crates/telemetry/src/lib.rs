@@ -43,3 +43,61 @@ pub use registry::{Registry, Snapshot};
 pub use scope::{
     counter_add, gauge_set, observe, observe_duration, recording, span, ScopeGuard, SpanTimer,
 };
+
+/// The checked-in telemetry key registry (`crates/telemetry/keys.txt`),
+/// embedded so the sanctioned key set ships with the library.
+///
+/// Format: one key per line, `#` starts a comment, a trailing `*` marks a
+/// prefix wildcard for dynamically-formatted key families. The analyzer's
+/// `telemetry-key-registry` rule holds every literal key at a recording or
+/// snapshot call site to this list, so a typo'd key (`engine.pool.steal`
+/// vs `….steals`) fails `scripts/check.sh` instead of silently splitting a
+/// metric in two.
+pub const KEY_REGISTRY: &str = include_str!("../keys.txt");
+
+#[cfg(test)]
+mod key_registry_tests {
+    use super::KEY_REGISTRY;
+
+    /// Parses an entry line to its key, dropping comments and blanks.
+    fn entries() -> Vec<&'static str> {
+        KEY_REGISTRY
+            .lines()
+            .filter_map(|l| {
+                let e = l.split('#').next().unwrap_or("").trim();
+                (!e.is_empty()).then_some(e)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn registry_is_nonempty_sectioned_and_well_formed() {
+        let entries = entries();
+        assert!(entries.len() >= 40, "registry lists the workspace's keys, got {}", entries.len());
+        for e in &entries {
+            let bare = e.strip_suffix('*').unwrap_or(e);
+            assert!(
+                bare.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "key `{e}` violates the crate.component.metric naming scheme"
+            );
+            assert!(bare.contains('.'), "key `{e}` must be namespaced");
+        }
+    }
+
+    #[test]
+    fn registry_has_no_duplicate_entries() {
+        let entries = entries();
+        let unique: std::collections::BTreeSet<_> = entries.iter().collect();
+        assert_eq!(unique.len(), entries.len(), "duplicate registry entries");
+    }
+
+    #[test]
+    fn core_pool_keys_are_registered() {
+        // Spot-check the keys the chaos sanitizer and inertness suite read.
+        let entries = entries();
+        for key in ["engine.pool.steals", "engine.pool.chaos_forced_requeues", "core.runner.rounds"]
+        {
+            assert!(entries.contains(&key), "`{key}` missing from keys.txt");
+        }
+    }
+}

@@ -32,10 +32,20 @@ run_stage "cargo clippy --workspace -- -D warnings" \
 
 # Blocking static-analysis gate: any finding (HashMap iteration, lib-crate
 # unwrap, float ==, ambient RNG/clock, narrowing cast in kernels, missing
-# crate-root hygiene attrs) fails the script. Suppressions need a
-# `// analyzer:allow(<rule>): <reason>` comment at the site.
+# crate-root hygiene attrs, hot-path allocation, unattested float
+# reductions, blocking calls in worker closures, unaudited unsafe, stale
+# allows, unregistered telemetry keys) fails the script. Suppressions need
+# a `// analyzer:allow(<rule>): <reason>` comment at the site.
 run_stage "faction-analyzer (determinism & numerics lint)" \
     cargo run -q -p faction-analyzer --release
+
+# Analyzer v2 gate: the golden-fixture suite pins every rule's findings to
+# `//~ rule` markers (positives and negatives) and re-runs the clean
+# workspace self-scan as a test, so a rule that drifts — misses its
+# fixture line or flags a new one — fails here even if the live scan
+# above happens to stay green (DESIGN.md §12).
+run_stage "analyzer-v2 (golden fixtures + self-scan)" \
+    cargo test -q -p faction-analyzer --release --test golden
 
 run_stage "perf_report --quick (smoke)" \
     cargo run -p faction-bench --release --bin perf_report -- --quick
@@ -66,6 +76,14 @@ run_stage "fault-injection (poisoned streams, graceful degradation)" \
 # results (plus sequential-path equivalence, resume, and journal replay).
 run_stage "faction-engine determinism (jobs=1 == jobs=8)" \
     cargo test -q -p faction-engine --release --test determinism
+
+# Schedule-chaos sanitizer: the same grids re-run under ChaosSchedule
+# seeds, which adversarially perturb worker wake-ups and force requeues,
+# and every perturbed schedule must still produce byte-identical canonical
+# results vs the jobs=1 baseline (DESIGN.md §12). This is the dynamic
+# counterpart of the static worker-closure lints above.
+run_stage "chaos-determinism (adversarial schedules, byte-identical)" \
+    cargo test -q -p faction-engine --release --test chaos_determinism
 
 # Telemetry gate #1: the inertness proof. Canonical grid results must be
 # byte-identical with recording on vs. off, at 1 and 8 workers, through
